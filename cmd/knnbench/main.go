@@ -1,0 +1,77 @@
+// Command knnbench regenerates the figures of the paper's evaluation
+// section (§5) against the synthetic OSM-like workload.
+//
+// Usage:
+//
+//	knnbench -fig all                     # every figure, default config
+//	knnbench -fig fig11,fig12 -out results/
+//	knnbench -fig fig20 -quick            # smoke-test sizes
+//	knnbench -fig fig11 -points 100000 -scales 10 -capacity 512 -maxk 2000
+//
+// Each figure prints an aligned table (and, with -out, a CSV per table;
+// fig10 writes an SVG). See DESIGN.md §4 for the experiment index and
+// EXPERIMENTS.md for recorded results.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"knncost/internal/harness"
+)
+
+func main() {
+	var (
+		figs     = flag.String("fig", "all", "comma-separated experiment ids ("+strings.Join(harness.FigureIDs(), ", ")+") or 'all'")
+		outDir   = flag.String("out", "", "directory for CSV/SVG outputs (optional)")
+		quick    = flag.Bool("quick", false, "use small smoke-test sizes")
+		seed     = flag.Int64("seed", 1, "random seed")
+		points   = flag.Int("points", 0, "points per scale factor (0 = default)")
+		scales   = flag.Int("scales", 0, "number of scale factors (0 = default)")
+		capacity = flag.Int("capacity", 0, "quadtree block capacity (0 = default)")
+		maxK     = flag.Int("maxk", 0, "largest catalog-maintained k (0 = default)")
+		queries  = flag.Int("queries", 0, "queries per accuracy experiment (0 = default)")
+		sample   = flag.Int("sample", 0, "fixed sample size for join catalogs (0 = default)")
+		gridSize = flag.Int("grid", 0, "fixed virtual-grid dimension (0 = default)")
+	)
+	flag.Parse()
+
+	cfg := harness.Config{}
+	if *quick {
+		cfg = harness.Quick()
+	}
+	cfg.Seed = *seed
+	if *points > 0 {
+		cfg.PointsPerScale = *points
+	}
+	if *scales > 0 {
+		cfg.MaxScale = *scales
+	}
+	if *capacity > 0 {
+		cfg.Capacity = *capacity
+	}
+	if *maxK > 0 {
+		cfg.MaxK = *maxK
+	}
+	if *queries > 0 {
+		cfg.SelectQueries = *queries
+	}
+	if *sample > 0 {
+		cfg.SampleSize = *sample
+	}
+	if *gridSize > 0 {
+		cfg.GridSize = *gridSize
+	}
+
+	env := harness.NewEnv(cfg)
+	ids := strings.Split(*figs, ",")
+	for i := range ids {
+		ids[i] = strings.TrimSpace(ids[i])
+	}
+	if err := harness.Run(env, ids, harness.RunOptions{OutDir: *outDir}); err != nil {
+		fmt.Fprintln(os.Stderr, "knnbench:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,80 @@
+// Command knncostd serves k-NN cost estimates over HTTP: a schema of
+// synthetic relations is indexed and all catalogs prebuilt at startup,
+// then estimates are answered from memory in microseconds — the usage
+// profile the paper motivates for location-based services.
+//
+// Usage:
+//
+//	knncostd -addr :8080 -relations hotels:50000,restaurants:200000
+//
+//	curl 'localhost:8080/relations'
+//	curl 'localhost:8080/estimate/select?rel=restaurants&x=10&y=45&k=25'
+//	curl 'localhost:8080/estimate/join?outer=hotels&inner=restaurants&k=5'
+//	curl 'localhost:8080/cost/select?rel=restaurants&x=10&y=45&k=25'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"knncost/internal/datagen"
+	"knncost/internal/index"
+	"knncost/internal/quadtree"
+	"knncost/internal/service"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		relations = flag.String("relations", "hotels:50000,restaurants:200000",
+			"comma-separated name:numpoints pairs")
+		capacity = flag.Int("capacity", 256, "index block capacity")
+		maxK     = flag.Int("maxk", 1000, "largest catalog-maintained k")
+		sample   = flag.Int("sample", 200, "catalog-merge sample size")
+		gridSize = flag.Int("grid", 10, "virtual-grid dimension")
+		seed     = flag.Int64("seed", 1, "dataset seed base")
+	)
+	flag.Parse()
+
+	trees := map[string]*index.Tree{}
+	for i, spec := range strings.Split(*relations, ",") {
+		name, countStr, ok := strings.Cut(strings.TrimSpace(spec), ":")
+		if !ok {
+			log.Fatalf("knncostd: bad relation spec %q (want name:numpoints)", spec)
+		}
+		n, err := strconv.Atoi(countStr)
+		if err != nil || n < 1 {
+			log.Fatalf("knncostd: bad point count in %q", spec)
+		}
+		pts := datagen.OSMLike(n, *seed+int64(i))
+		trees[name] = quadtree.Build(pts, quadtree.Options{
+			Capacity: *capacity,
+			Bounds:   datagen.WorldBounds,
+		}).Index()
+		log.Printf("indexed %s: %d points, %d blocks", name, n, trees[name].NumBlocks())
+	}
+
+	start := time.Now()
+	srv, err := service.New(trees, service.Options{
+		MaxK:       *maxK,
+		SampleSize: *sample,
+		GridSize:   *gridSize,
+	})
+	if err != nil {
+		log.Fatalf("knncostd: %v", err)
+	}
+	log.Printf("catalogs built in %v", time.Since(start).Round(time.Millisecond))
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	fmt.Printf("knncostd listening on %s\n", *addr)
+	log.Fatal(httpSrv.ListenAndServe())
+}

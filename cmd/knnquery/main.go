@@ -1,0 +1,128 @@
+// Command knnquery runs individual k-NN operators against a synthetic
+// dataset and prints estimated vs actual block-scan costs — a hands-on way
+// to see each estimation technique's behaviour on a single query.
+//
+// Usage:
+//
+//	knnquery -op select -x 12.5 -y 41.9 -k 25
+//	knnquery -op join -k 5 -outer 50000 -n 200000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"knncost"
+)
+
+func main() {
+	var (
+		op       = flag.String("op", "select", "operator: select or join")
+		n        = flag.Int("n", 200_000, "inner/dataset size")
+		outerN   = flag.Int("outer", 50_000, "outer relation size (join only)")
+		seed     = flag.Int64("seed", 1, "dataset seed")
+		capacity = flag.Int("capacity", 256, "index block capacity")
+		x        = flag.Float64("x", 0, "query longitude (select only)")
+		y        = flag.Float64("y", 0, "query latitude (select only)")
+		k        = flag.Int("k", 10, "number of neighbors")
+		maxK     = flag.Int("maxk", 1000, "largest catalog-maintained k")
+	)
+	flag.Parse()
+
+	switch *op {
+	case "select":
+		runSelect(*n, *seed, *capacity, *x, *y, *k, *maxK)
+	case "join":
+		runJoin(*n, *outerN, *seed, *capacity, *k, *maxK)
+	default:
+		fmt.Fprintf(os.Stderr, "knnquery: unknown -op %q (want select or join)\n", *op)
+		os.Exit(1)
+	}
+}
+
+func runSelect(n int, seed int64, capacity int, x, y float64, k, maxK int) {
+	pts := knncost.GenerateOSMLike(n, seed)
+	ix := knncost.BuildQuadtreeIndex(pts, knncost.IndexOptions{Capacity: capacity})
+	q := knncost.Point{X: x, Y: y}
+	fmt.Printf("dataset: %d points, %d blocks (capacity %d)\n", n, ix.NumBlocks(), capacity)
+	fmt.Printf("k-NN-Select at %v, k=%d\n\n", q, k)
+
+	start := time.Now()
+	neighbors, stats := ix.SelectKNNStats(q, k)
+	execTime := time.Since(start)
+	fmt.Printf("actual: %d blocks scanned, %d neighbors, %.4f max distance (%v)\n",
+		stats.BlocksScanned, len(neighbors), maxDist(neighbors), execTime)
+
+	start = time.Now()
+	stair, err := knncost.NewStaircaseEstimator(ix, knncost.StaircaseOptions{MaxK: maxK})
+	if err != nil {
+		fatal(err)
+	}
+	buildTime := time.Since(start)
+	est, err := stair.EstimateSelect(q, k)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("staircase estimate:     %8.2f blocks (catalogs: %s, %d B)\n",
+		est, buildTime.Round(time.Millisecond), stair.StorageBytes())
+
+	est, err = knncost.NewDensityEstimator(ix).EstimateSelect(q, k)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("density-based estimate: %8.2f blocks (no preprocessing)\n", est)
+}
+
+func runJoin(n, outerN int, seed int64, capacity, k, maxK int) {
+	inner := knncost.BuildQuadtreeIndex(
+		knncost.GenerateOSMLike(n, seed), knncost.IndexOptions{Capacity: capacity})
+	outer := knncost.BuildQuadtreeIndex(
+		knncost.GenerateOSMLike(outerN, seed+1), knncost.IndexOptions{Capacity: capacity})
+	fmt.Printf("outer: %d points / %d blocks, inner: %d points / %d blocks\n",
+		outerN, outer.NumBlocks(), n, inner.NumBlocks())
+	fmt.Printf("k-NN-Join, k=%d\n\n", k)
+
+	actual := knncost.JoinKNNCost(outer, inner, k)
+	fmt.Printf("actual locality-based cost: %d blocks\n", actual)
+
+	bs := knncost.NewBlockSampleEstimator(outer, inner, 200)
+	est, err := bs.EstimateJoin(k)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("block-sample estimate (s=200):  %10.0f blocks\n", est)
+
+	cm, err := knncost.NewCatalogMergeEstimator(outer, inner, 200, maxK)
+	if err != nil {
+		fatal(err)
+	}
+	est, err = cm.EstimateJoin(k)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("catalog-merge estimate (s=200): %10.0f blocks (%d B catalog)\n", est, cm.StorageBytes())
+
+	vg, err := knncost.NewVirtualGridEstimator(inner, 10, 10, maxK)
+	if err != nil {
+		fatal(err)
+	}
+	est, err = vg.EstimateJoin(outer, k)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("virtual-grid estimate (10x10):  %10.0f blocks (%d B catalogs)\n", est, vg.StorageBytes())
+}
+
+func maxDist(ns []knncost.Neighbor) float64 {
+	if len(ns) == 0 {
+		return 0
+	}
+	return ns[len(ns)-1].Dist
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "knnquery:", err)
+	os.Exit(1)
+}

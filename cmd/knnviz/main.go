@@ -1,0 +1,56 @@
+// Command knnviz renders an OSM-like synthetic dataset with its
+// region-quadtree decomposition to SVG — the repository's Figure 10.
+//
+// Usage:
+//
+//	knnviz -n 500000 -capacity 1024 -o map.svg
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"knncost/internal/datagen"
+	"knncost/internal/quadtree"
+	"knncost/internal/viz"
+)
+
+func main() {
+	var (
+		n        = flag.Int("n", 200_000, "number of points to generate")
+		seed     = flag.Int64("seed", 1, "dataset seed")
+		capacity = flag.Int("capacity", 512, "quadtree block capacity")
+		out      = flag.String("o", "knnviz.svg", "output SVG path")
+		width    = flag.Int("width", 1200, "image width in pixels")
+		maxDots  = flag.Int("dots", 30_000, "maximum points drawn (sampled)")
+		noBlocks = flag.Bool("noblocks", false, "omit the quadtree decomposition")
+	)
+	flag.Parse()
+
+	pts := datagen.OSMLike(*n, *seed)
+	ix := quadtree.Build(pts, quadtree.Options{
+		Capacity: *capacity,
+		Bounds:   datagen.WorldBounds,
+	}).Index()
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "knnviz:", err)
+		os.Exit(1)
+	}
+	err = viz.RenderSVG(f, pts, ix, viz.Options{
+		WidthPx:    *width,
+		MaxPoints:  *maxDots,
+		Seed:       *seed,
+		DrawBlocks: !*noBlocks,
+	})
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "knnviz:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s: %d points, %d blocks\n", *out, len(pts), ix.NumBlocks())
+}

@@ -1,0 +1,74 @@
+// Command planner demonstrates the cost-based planner built on top of the
+// estimators: register a relation, plan queries, read the EXPLAIN output,
+// execute the chosen plan, and audit the decision against the blocks
+// actually scanned.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"knncost"
+)
+
+func main() {
+	fmt.Println("== cost-based planning with knncost ==")
+
+	pts := knncost.GenerateOSMLike(80_000, 51)
+	ix := knncost.BuildQuadtreeIndex(pts, knncost.IndexOptions{Capacity: 256})
+	stair, err := knncost.NewStaircaseEstimator(ix, knncost.StaircaseOptions{MaxK: 4000})
+	if err != nil {
+		panic(err)
+	}
+	restaurants := knncost.NewRelation("restaurants", ix, stair)
+
+	// Attach a synthetic "serves seafood" attribute to 2% of restaurants.
+	rng := rand.New(rand.NewSource(1))
+	seafood := make(map[knncost.Point]bool, len(pts))
+	for _, p := range pts {
+		seafood[p] = rng.Float64() < 0.02
+	}
+
+	me := pts[4242]
+	fmt.Printf("\nquery 1: 5 closest seafood restaurants to %v (selectivity 0.02)\n\n", me)
+	d, err := knncost.PlanKNNSelect(restaurants, me, 5, &knncost.Filter{
+		Pred:        func(p knncost.Point) bool { return seafood[p] },
+		Selectivity: 0.02,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Print(d.Explain())
+	exec, err := knncost.ExecuteSelect(d)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("\nexecuted %q: %d neighbors, %d blocks actually scanned\n",
+		exec.Plan, len(exec.Neighbors), exec.BlocksScanned)
+
+	fmt.Println("\nquery 2: the same, but only 0.01% of restaurants qualify")
+	fmt.Println()
+	d, err = knncost.PlanKNNSelect(restaurants, me, 5, &knncost.Filter{
+		Pred:        func(p knncost.Point) bool { return rng.Float64() < 0.0001 },
+		Selectivity: 0.0001,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Print(d.Explain())
+
+	fmt.Println("\nquery 3: a batch of 10,000 k-NN lookups (k=10)")
+	fmt.Println()
+	batch := knncost.GenerateOSMLike(10_000, 77)
+	d, err = knncost.PlanKNNSelectBatch(restaurants, batch, 10, knncost.BatchOptions{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Print(d.Explain())
+	bexec, err := knncost.ExecuteBatch(d)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("\nexecuted %q: %d result sets, %d blocks actually scanned\n",
+		bexec.Plan, len(bexec.Results), bexec.BlocksScanned)
+}

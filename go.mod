@@ -1,0 +1,3 @@
+module knncost
+
+go 1.22

@@ -1,0 +1,56 @@
+package catalog
+
+import (
+	"testing"
+)
+
+// FuzzUnmarshalBinary hardens the catalog decoder against corrupt or
+// adversarial inputs: it must either reject the bytes or produce a catalog
+// whose own invariants hold and which re-encodes losslessly. Run with
+// `go test -fuzz=FuzzUnmarshalBinary ./internal/catalog` for a real fuzzing
+// session; the seed corpus below runs in every normal test invocation.
+func FuzzUnmarshalBinary(f *testing.F) {
+	valid := &Catalog{}
+	_ = valid.Append(1, 520, 3)
+	_ = valid.Append(521, 675, 7)
+	seed, err := valid.MarshalBinary()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	f.Add([]byte{})
+	f.Add([]byte{marshalHeader})
+	f.Add([]byte{marshalHeader, 0x00})
+	f.Add([]byte{marshalHeader, 0xFF, 0xFF, 0xFF})
+	f.Add(append(append([]byte{}, seed...), 0x01)) // trailing byte
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var c Catalog
+		if err := c.UnmarshalBinary(data); err != nil {
+			return // rejection is always acceptable
+		}
+		// Accepted: invariants must hold.
+		prevEnd := 0
+		for _, e := range c.Entries() {
+			if e.StartK != prevEnd+1 {
+				t.Fatalf("gap: entry %+v after end %d", e, prevEnd)
+			}
+			if e.EndK < e.StartK {
+				t.Fatalf("inverted entry %+v", e)
+			}
+			prevEnd = e.EndK
+		}
+		// Round-trip must be lossless.
+		enc, err := c.MarshalBinary()
+		if err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		var back Catalog
+		if err := back.UnmarshalBinary(enc); err != nil {
+			t.Fatalf("re-decode: %v", err)
+		}
+		if back.Len() != c.Len() || back.MaxK() != c.MaxK() {
+			t.Fatalf("round-trip changed shape")
+		}
+	})
+}

@@ -1,0 +1,64 @@
+package core
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"knncost/internal/geom"
+)
+
+// Estimators are read-only after construction, so concurrent estimates
+// must be safe — the property the HTTP service relies on. Run under
+// `go test -race` to make this meaningful.
+func TestConcurrentEstimates(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	bounds := geom.NewRect(0, 0, 100, 100)
+	data := buildIx(clusteredPoints(rng, 4000, bounds), bounds, 64)
+	inner := buildIx(clusteredPoints(rng, 4000, bounds), bounds, 64).CountTree()
+	count := data.CountTree()
+
+	stair, err := BuildStaircase(data, StaircaseOptions{MaxK: 150})
+	if err != nil {
+		t.Fatal(err)
+	}
+	density := NewDensityBased(count)
+	cm, err := BuildCatalogMerge(count, inner, 50, 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vg, err := BuildVirtualGrid(inner, 6, 6, 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			local := rand.New(rand.NewSource(seed))
+			for i := 0; i < 200; i++ {
+				q := geom.Point{X: local.Float64() * 100, Y: local.Float64() * 100}
+				k := 1 + local.Intn(150)
+				if _, err := stair.EstimateSelect(q, k); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := density.EstimateSelect(q, k); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := cm.EstimateJoin(k); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := vg.EstimateJoin(count, k); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+}

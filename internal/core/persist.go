@@ -1,0 +1,321 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"knncost/internal/catalog"
+	"knncost/internal/geom"
+	"knncost/internal/grid"
+	"knncost/internal/index"
+)
+
+// Catalog persistence: a query optimizer builds its statistics once and
+// keeps them across restarts. Staircase, CatalogMerge and VirtualGrid
+// estimators serialize to a small versioned binary format; loading a
+// Staircase requires the same data index (its catalogs attach to that
+// index's blocks, and the file records a fingerprint to catch mismatches),
+// while CatalogMerge and VirtualGrid load standalone.
+
+const (
+	persistVersion   = 1
+	magicStaircase   = "KNCS"
+	magicCatalogMrg  = "KNCM"
+	magicVirtualGrid = "KNVG"
+)
+
+type binWriter struct {
+	w   *bufio.Writer
+	err error
+}
+
+func (b *binWriter) u64(v uint64) {
+	if b.err != nil {
+		return
+	}
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	_, b.err = b.w.Write(buf[:n])
+}
+
+func (b *binWriter) f64(v float64) { b.u64(math.Float64bits(v)) }
+
+func (b *binWriter) bytes(p []byte) {
+	b.u64(uint64(len(p)))
+	if b.err != nil {
+		return
+	}
+	_, b.err = b.w.Write(p)
+}
+
+func (b *binWriter) catalog(c *catalog.Catalog) {
+	if b.err != nil {
+		return
+	}
+	data, err := c.MarshalBinary()
+	if err != nil {
+		b.err = err
+		return
+	}
+	b.bytes(data)
+}
+
+type binReader struct {
+	r   *bufio.Reader
+	err error
+}
+
+func (b *binReader) u64() uint64 {
+	if b.err != nil {
+		return 0
+	}
+	v, err := binary.ReadUvarint(b.r)
+	if err != nil {
+		b.err = err
+	}
+	return v
+}
+
+func (b *binReader) f64() float64 { return math.Float64frombits(b.u64()) }
+
+func (b *binReader) bytes() []byte {
+	n := b.u64()
+	if b.err != nil {
+		return nil
+	}
+	if n > 1<<30 {
+		b.err = errors.New("core: unreasonable field length")
+		return nil
+	}
+	p := make([]byte, n)
+	if _, err := io.ReadFull(b.r, p); err != nil {
+		b.err = err
+		return nil
+	}
+	return p
+}
+
+func (b *binReader) catalog() *catalog.Catalog {
+	data := b.bytes()
+	if b.err != nil {
+		return nil
+	}
+	c := &catalog.Catalog{}
+	if err := c.UnmarshalBinary(data); err != nil {
+		b.err = err
+		return nil
+	}
+	return c
+}
+
+func writeHeader(b *binWriter, magic string) {
+	if b.err == nil {
+		_, b.err = b.w.WriteString(magic)
+	}
+	b.u64(persistVersion)
+}
+
+func readHeader(b *binReader, magic string) {
+	if b.err != nil {
+		return
+	}
+	got := make([]byte, len(magic))
+	if _, err := io.ReadFull(b.r, got); err != nil {
+		b.err = err
+		return
+	}
+	if string(got) != magic {
+		b.err = fmt.Errorf("core: bad magic %q, want %q", got, magic)
+		return
+	}
+	if v := b.u64(); b.err == nil && v != persistVersion {
+		b.err = fmt.Errorf("core: unsupported format version %d", v)
+	}
+}
+
+// WriteTo serializes the staircase catalogs. The companion LoadStaircase
+// must be given the same data index.
+func (s *Staircase) WriteTo(w io.Writer) (int64, error) {
+	cw := &countingWriter{w: w}
+	b := &binWriter{w: bufio.NewWriter(cw)}
+	writeHeader(b, magicStaircase)
+	b.u64(uint64(s.mode))
+	b.u64(uint64(s.maxK))
+	b.u64(uint64(s.aux.NumBlocks()))
+	b.u64(uint64(s.aux.NumPoints())) // fingerprint
+	for i := range s.center {
+		b.catalog(s.center[i])
+		switch s.mode {
+		case ModeCenterCorners:
+			b.catalog(s.corners[i])
+		case ModeCenterQuadrant:
+			for _, c := range s.quads[i] {
+				b.catalog(c)
+			}
+		}
+	}
+	if b.err == nil {
+		b.err = b.w.Flush()
+	}
+	return cw.n, b.err
+}
+
+// LoadStaircase reconstructs a staircase estimator from r against the same
+// data index it was built on. opt supplies only AuxCapacity (to rebuild
+// the auxiliary index for a non-partitioning data index) and Fallback;
+// mode and MaxK come from the file. The file's block-count and point-count
+// fingerprints must match the index, otherwise an error is returned.
+func LoadStaircase(data *index.Tree, r io.Reader, opt StaircaseOptions) (*Staircase, error) {
+	b := &binReader{r: bufio.NewReader(r)}
+	readHeader(b, magicStaircase)
+	mode := StaircaseMode(b.u64())
+	maxK := int(b.u64())
+	numBlocks := int(b.u64())
+	numPoints := int(b.u64())
+	if b.err != nil {
+		return nil, b.err
+	}
+	aux := data
+	if !data.Partitioning() {
+		aux = auxiliaryIndex(data, opt.AuxCapacity)
+	}
+	if aux.NumBlocks() != numBlocks || aux.NumPoints() != numPoints {
+		return nil, fmt.Errorf("core: staircase file built for %d blocks/%d points, index has %d/%d",
+			numBlocks, numPoints, aux.NumBlocks(), aux.NumPoints())
+	}
+	s := &Staircase{
+		aux:      aux,
+		mode:     mode,
+		maxK:     maxK,
+		fallback: opt.Fallback,
+		center:   make([]*catalog.Catalog, numBlocks),
+	}
+	if s.fallback == nil {
+		s.fallback = NewDensityBased(data.CountTree())
+	}
+	switch mode {
+	case ModeCenterCorners:
+		s.corners = make([]*catalog.Catalog, numBlocks)
+	case ModeCenterQuadrant:
+		s.quads = make([][4]*catalog.Catalog, numBlocks)
+	}
+	for i := 0; i < numBlocks; i++ {
+		s.center[i] = b.catalog()
+		switch mode {
+		case ModeCenterCorners:
+			s.corners[i] = b.catalog()
+		case ModeCenterQuadrant:
+			for j := 0; j < 4; j++ {
+				s.quads[i][j] = b.catalog()
+			}
+		}
+		if b.err != nil {
+			return nil, b.err
+		}
+	}
+	return s, nil
+}
+
+// WriteTo serializes the merged catalog and its scale factor.
+func (c *CatalogMerge) WriteTo(w io.Writer) (int64, error) {
+	cw := &countingWriter{w: w}
+	b := &binWriter{w: bufio.NewWriter(cw)}
+	writeHeader(b, magicCatalogMrg)
+	b.u64(uint64(c.maxK))
+	b.f64(c.scale)
+	b.catalog(c.merged)
+	if b.err == nil {
+		b.err = b.w.Flush()
+	}
+	return cw.n, b.err
+}
+
+// LoadCatalogMerge reconstructs a CatalogMerge estimator from r. It is
+// fully standalone: no index is needed at estimation time.
+func LoadCatalogMerge(r io.Reader) (*CatalogMerge, error) {
+	b := &binReader{r: bufio.NewReader(r)}
+	readHeader(b, magicCatalogMrg)
+	maxK := int(b.u64())
+	scale := b.f64()
+	merged := b.catalog()
+	if b.err != nil {
+		return nil, b.err
+	}
+	return &CatalogMerge{merged: merged, scale: scale, maxK: maxK}, nil
+}
+
+// WriteTo serializes the virtual grid: bounds, dimensions and per-cell
+// catalogs.
+func (v *VirtualGrid) WriteTo(w io.Writer) (int64, error) {
+	cw := &countingWriter{w: w}
+	b := &binWriter{w: bufio.NewWriter(cw)}
+	writeHeader(b, magicVirtualGrid)
+	b.u64(uint64(v.nx))
+	b.u64(uint64(v.ny))
+	b.u64(uint64(v.maxK))
+	b.f64(v.bounds.Min.X)
+	b.f64(v.bounds.Min.Y)
+	b.f64(v.bounds.Max.X)
+	b.f64(v.bounds.Max.Y)
+	for _, c := range v.catalogs {
+		b.catalog(c)
+	}
+	if b.err == nil {
+		b.err = b.w.Flush()
+	}
+	return cw.n, b.err
+}
+
+// LoadVirtualGrid reconstructs a VirtualGrid estimator from r. It is fully
+// standalone: estimation needs only the outer relation.
+func LoadVirtualGrid(r io.Reader) (*VirtualGrid, error) {
+	b := &binReader{r: bufio.NewReader(r)}
+	readHeader(b, magicVirtualGrid)
+	nx := int(b.u64())
+	ny := int(b.u64())
+	maxK := int(b.u64())
+	bounds := geom.Rect{
+		Min: geom.Point{X: b.f64(), Y: b.f64()},
+		Max: geom.Point{X: b.f64(), Y: b.f64()},
+	}
+	if b.err != nil {
+		return nil, b.err
+	}
+	if nx < 1 || ny < 1 || nx*ny > 1<<20 {
+		return nil, fmt.Errorf("core: unreasonable grid %dx%d", nx, ny)
+	}
+	if !bounds.Valid() || bounds.Width() <= 0 || bounds.Height() <= 0 {
+		return nil, fmt.Errorf("core: invalid grid bounds %v", bounds)
+	}
+	v := &VirtualGrid{
+		cells:    grid.Cells(bounds, nx, ny),
+		catalogs: make([]*catalog.Catalog, nx*ny),
+		bounds:   bounds,
+		nx:       nx,
+		ny:       ny,
+		maxK:     maxK,
+	}
+	for i := range v.catalogs {
+		v.catalogs[i] = b.catalog()
+		if b.err != nil {
+			return nil, b.err
+		}
+	}
+	return v, nil
+}
+
+// countingWriter tracks bytes written for the io.WriterTo contract.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}

@@ -1,0 +1,205 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"knncost/internal/geom"
+	"knncost/internal/rtree"
+)
+
+func TestStaircaseRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	bounds := geom.NewRect(0, 0, 100, 100)
+	data := buildIx(clusteredPoints(rng, 3000, bounds), bounds, 64)
+	for _, mode := range []StaircaseMode{ModeCenterCorners, ModeCenterOnly, ModeCenterQuadrant} {
+		orig, err := BuildStaircase(data, StaircaseOptions{MaxK: 150, Mode: mode})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		n, err := orig.WriteTo(&buf)
+		if err != nil {
+			t.Fatalf("%v WriteTo: %v", mode, err)
+		}
+		if n != int64(buf.Len()) {
+			t.Errorf("%v: WriteTo reported %d bytes, wrote %d", mode, n, buf.Len())
+		}
+		loaded, err := LoadStaircase(data, &buf, StaircaseOptions{})
+		if err != nil {
+			t.Fatalf("%v LoadStaircase: %v", mode, err)
+		}
+		if loaded.Mode() != mode || loaded.MaxK() != 150 {
+			t.Fatalf("%v: loaded mode/maxK = %v/%d", mode, loaded.Mode(), loaded.MaxK())
+		}
+		for i := 0; i < 300; i++ {
+			q := geom.Point{X: rng.Float64() * 100, Y: rng.Float64() * 100}
+			k := 1 + rng.Intn(150)
+			a, err := orig.EstimateSelect(q, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := loaded.EstimateSelect(q, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a != b {
+				t.Fatalf("%v: estimates diverge at q=%v k=%d: %g vs %g", mode, q, k, a, b)
+			}
+		}
+	}
+}
+
+func TestStaircaseLoadRejectsWrongIndex(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	bounds := geom.NewRect(0, 0, 50, 50)
+	data := buildIx(randPoints(rng, 1000, bounds), bounds, 32)
+	other := buildIx(randPoints(rng, 1500, bounds), bounds, 32)
+	s, err := BuildStaircase(data, StaircaseOptions{MaxK: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := s.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadStaircase(other, &buf, StaircaseOptions{}); err == nil {
+		t.Error("loading against a different index must fail the fingerprint check")
+	}
+}
+
+func TestStaircaseRoundTripOnRTree(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	bounds := geom.NewRect(0, 0, 100, 100)
+	pts := clusteredPoints(rng, 2000, bounds)
+	rt, err := rtree.Build(pts, rtree.Options{LeafCapacity: 64, Fanout: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := rt.Index()
+	orig, err := BuildStaircase(data, StaircaseOptions{MaxK: 80, AuxCapacity: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := orig.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// The auxiliary quadtree is deterministic, so loading with the same
+	// AuxCapacity reproduces the estimator.
+	loaded, err := LoadStaircase(data, &buf, StaircaseOptions{AuxCapacity: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := pts[17]
+	a, err := orig.EstimateSelect(q, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := loaded.EstimateSelect(q, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("estimates diverge: %g vs %g", a, b)
+	}
+}
+
+func TestCatalogMergeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(34))
+	bounds := geom.NewRect(0, 0, 100, 100)
+	outer := buildIx(clusteredPoints(rng, 2000, bounds), bounds, 64).CountTree()
+	inner := buildIx(clusteredPoints(rng, 3000, bounds), bounds, 64).CountTree()
+	orig, err := BuildCatalogMerge(outer, inner, 50, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := orig.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadCatalogMerge(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 1; k <= 200; k += 11 {
+		a, err := orig.EstimateJoin(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := loaded.EstimateJoin(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a != b {
+			t.Fatalf("k=%d: %g vs %g", k, a, b)
+		}
+	}
+	if loaded.MaxK() != 200 {
+		t.Errorf("MaxK = %d", loaded.MaxK())
+	}
+}
+
+func TestVirtualGridRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(35))
+	bounds := geom.NewRect(0, 0, 100, 100)
+	outer := buildIx(clusteredPoints(rng, 2000, bounds), bounds, 64).CountTree()
+	inner := buildIx(clusteredPoints(rng, 3000, bounds), bounds, 64).CountTree()
+	orig, err := BuildVirtualGrid(inner, 7, 5, 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := orig.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadVirtualGrid(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nx, ny := loaded.GridSize(); nx != 7 || ny != 5 {
+		t.Fatalf("grid size %dx%d", nx, ny)
+	}
+	for k := 1; k <= 150; k += 13 {
+		a, err := orig.EstimateJoin(outer, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := loaded.EstimateJoin(outer, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a != b {
+			t.Fatalf("k=%d: %g vs %g", k, a, b)
+		}
+	}
+}
+
+func TestLoadCorruptData(t *testing.T) {
+	if _, err := LoadCatalogMerge(bytes.NewReader(nil)); err == nil {
+		t.Error("empty input should fail")
+	}
+	if _, err := LoadCatalogMerge(bytes.NewReader([]byte("XXXX\x01"))); err == nil {
+		t.Error("bad magic should fail")
+	}
+	if _, err := LoadVirtualGrid(bytes.NewReader([]byte("KNVG\x02"))); err == nil {
+		t.Error("bad version should fail")
+	}
+	// Truncated staircase payload.
+	rng := rand.New(rand.NewSource(36))
+	bounds := geom.NewRect(0, 0, 10, 10)
+	data := buildIx(randPoints(rng, 200, bounds), bounds, 16)
+	s, err := BuildStaircase(data, StaircaseOptions{MaxK: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := s.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()/2]
+	if _, err := LoadStaircase(data, bytes.NewReader(trunc), StaircaseOptions{}); err == nil {
+		t.Error("truncated staircase file should fail")
+	}
+}

@@ -1,0 +1,303 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"knncost/internal/catalog"
+	"knncost/internal/geom"
+	"knncost/internal/index"
+	"knncost/internal/quadtree"
+)
+
+// StaircaseMode selects between the two variants evaluated in §5.1.
+type StaircaseMode int
+
+const (
+	// ModeCenterCorners estimates with Equations 1–2: the center-catalog
+	// cost interpolated toward the corners-catalog cost by the query
+	// point's distance from the block center. Higher accuracy, two
+	// lookups, five catalogs built per block (merged to two).
+	ModeCenterCorners StaircaseMode = iota
+	// ModeCenterOnly estimates with the center-catalog alone: one lookup,
+	// one catalog per block, slightly lower accuracy.
+	ModeCenterOnly
+	// ModeCenterQuadrant is an extension beyond the paper (an ablation of
+	// its corner-merge design choice): the four corner catalogs are kept
+	// separate and the interpolation uses the corner of the quadrant the
+	// query point falls in, instead of the maximum over all corners.
+	// More accurate for queries near a cheap corner, at 2.5x the storage
+	// of ModeCenterCorners.
+	ModeCenterQuadrant
+)
+
+// String implements fmt.Stringer.
+func (m StaircaseMode) String() string {
+	switch m {
+	case ModeCenterCorners:
+		return "Center+Corners"
+	case ModeCenterOnly:
+		return "Center-Only"
+	case ModeCenterQuadrant:
+		return "Center+Quadrant"
+	default:
+		return fmt.Sprintf("StaircaseMode(%d)", int(m))
+	}
+}
+
+// DefaultMaxK is the default largest k maintained in catalogs. The paper
+// uses 10,000 with blocks of capacity 10,000; the default here preserves
+// the MAX_K-to-capacity ratio at this repository's scaled-down defaults.
+// Queries with larger k fall back to the density-based technique (Fig. 5).
+const DefaultMaxK = 1000
+
+// StaircaseOptions configure BuildStaircase.
+type StaircaseOptions struct {
+	// MaxK is the largest k the catalogs cover. Zero means DefaultMaxK.
+	MaxK int
+	// Mode selects the estimation variant. The zero value is
+	// ModeCenterCorners.
+	Mode StaircaseMode
+	// AuxCapacity is the leaf capacity used when an auxiliary quadtree
+	// must be built because the data index is not space-partitioning
+	// (§3.3). Zero means the quadtree package default.
+	AuxCapacity int
+	// Fallback handles queries with k > MaxK or outside the auxiliary
+	// index bounds. Nil means a DensityBased estimator over the data
+	// index's Count-Index, matching Figure 5.
+	Fallback SelectEstimator
+	// Parallelism is the number of goroutines building per-block catalogs
+	// concurrently. Zero means GOMAXPROCS; 1 forces a serial build.
+	// Catalogs are independent, so the result is identical regardless.
+	Parallelism int
+}
+
+// Staircase is the paper's k-NN-Select cost estimator (§3). For every block
+// of a space-partitioning auxiliary index it keeps a center-catalog and
+// (in ModeCenterCorners) a corners-catalog — the maximum over the four
+// corner catalogs — each built by Procedure 1. A query locates its block,
+// looks up both catalogs, and interpolates with Equations 1 and 2.
+type Staircase struct {
+	aux      *index.Tree
+	center   []*catalog.Catalog    // indexed by aux block ID
+	corners  []*catalog.Catalog    // merged max; nil unless ModeCenterCorners
+	quads    [][4]*catalog.Catalog // per-corner; nil unless ModeCenterQuadrant
+	mode     StaircaseMode
+	maxK     int
+	fallback SelectEstimator
+}
+
+// BuildStaircase precomputes the staircase catalogs for the given data
+// index. When the data index is space-partitioning (quadtree, grid) the
+// catalogs attach to its own blocks; otherwise (R-tree) a quadtree auxiliary
+// index is built over the same points, as §3.3 prescribes, so that every
+// query point falls inside some block.
+func BuildStaircase(data *index.Tree, opt StaircaseOptions) (*Staircase, error) {
+	if data.NumBlocks() == 0 {
+		return nil, errors.New("core: cannot build staircase over empty index")
+	}
+	if opt.MaxK == 0 {
+		opt.MaxK = DefaultMaxK
+	}
+	if opt.MaxK < 1 {
+		return nil, fmt.Errorf("core: invalid MaxK %d", opt.MaxK)
+	}
+	aux := data
+	if !data.Partitioning() {
+		aux = auxiliaryIndex(data, opt.AuxCapacity)
+	}
+	s := &Staircase{
+		aux:      aux,
+		mode:     opt.Mode,
+		maxK:     opt.MaxK,
+		fallback: opt.Fallback,
+	}
+	if s.fallback == nil {
+		s.fallback = NewDensityBased(data.CountTree())
+	}
+	s.center = make([]*catalog.Catalog, aux.NumBlocks())
+	switch opt.Mode {
+	case ModeCenterCorners:
+		s.corners = make([]*catalog.Catalog, aux.NumBlocks())
+	case ModeCenterQuadrant:
+		s.quads = make([][4]*catalog.Catalog, aux.NumBlocks())
+	}
+	buildBlock := func(b *index.Block) error {
+		s.center[b.ID] = BuildSelectCatalog(data, b.Bounds.Center(), opt.MaxK)
+		switch opt.Mode {
+		case ModeCenterCorners:
+			cornerCats := make([]*catalog.Catalog, 0, 4)
+			for _, c := range b.Bounds.Corners() {
+				cornerCats = append(cornerCats, BuildSelectCatalog(data, c, opt.MaxK))
+			}
+			merged, err := catalog.MergeMax(cornerCats)
+			if err != nil {
+				return fmt.Errorf("core: merging corner catalogs of block %d: %w", b.ID, err)
+			}
+			s.corners[b.ID] = merged
+		case ModeCenterQuadrant:
+			for i, c := range b.Bounds.Corners() {
+				s.quads[b.ID][i] = BuildSelectCatalog(data, c, opt.MaxK)
+			}
+		}
+		return nil
+	}
+	if err := forEachBlock(aux.Blocks(), opt.Parallelism, buildBlock); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// forEachBlock runs fn over blocks with the given parallelism (0 means
+// GOMAXPROCS). Each block writes only its own catalog slots, so no
+// synchronization beyond the WaitGroup is needed; the first error wins.
+func forEachBlock(blocks []*index.Block, parallelism int, fn func(*index.Block) error) error {
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	if parallelism == 1 || len(blocks) < 2 {
+		for _, b := range blocks {
+			if err := fn(b); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		wg       sync.WaitGroup
+		next     atomic.Int64
+		firstErr atomic.Value
+	)
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(blocks) || firstErr.Load() != nil {
+					return
+				}
+				if err := fn(blocks[i]); err != nil {
+					firstErr.CompareAndSwap(nil, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if err := firstErr.Load(); err != nil {
+		return err.(error)
+	}
+	return nil
+}
+
+// auxiliaryIndex builds a space-partitioning quadtree over the points of a
+// non-partitioning data index.
+func auxiliaryIndex(data *index.Tree, capacity int) *index.Tree {
+	pts := make([]geom.Point, 0, data.NumPoints())
+	for _, b := range data.Blocks() {
+		pts = append(pts, b.Points...)
+	}
+	return quadtree.Build(pts, quadtree.Options{Capacity: capacity}).Index()
+}
+
+// EstimateSelect implements SelectEstimator. Queries with k in [1, MaxK]
+// that fall inside the auxiliary index are answered from the catalogs;
+// anything else routes to the fallback estimator, mirroring the query flow
+// of Figure 5.
+func (s *Staircase) EstimateSelect(q geom.Point, k int) (float64, error) {
+	if k < 1 {
+		return 0, errors.New("core: k must be >= 1")
+	}
+	if k > s.maxK {
+		return s.fallback.EstimateSelect(q, k)
+	}
+	blk := s.aux.Find(q)
+	if blk == nil {
+		return s.fallback.EstimateSelect(q, k)
+	}
+	cCenter, ok := s.center[blk.ID].Lookup(k)
+	if !ok {
+		return 0, fmt.Errorf("core: center catalog of block %d missing k=%d", blk.ID, k)
+	}
+	if s.mode == ModeCenterOnly {
+		return float64(cCenter), nil
+	}
+	var cornerCat *catalog.Catalog
+	if s.mode == ModeCenterQuadrant {
+		cornerCat = s.quads[blk.ID][quadrantCorner(blk.Bounds, q)]
+	} else {
+		cornerCat = s.corners[blk.ID]
+	}
+	cCorner, ok := cornerCat.Lookup(k)
+	if !ok {
+		return 0, fmt.Errorf("core: corners catalog of block %d missing k=%d", blk.ID, k)
+	}
+	// Equations 1 and 2: cost = C_center + (2L / Diagonal) * Δ.
+	l := q.Dist(blk.Bounds.Center())
+	diag := blk.Bounds.Diagonal()
+	if diag == 0 {
+		return float64(cCenter), nil
+	}
+	delta := float64(cCorner - cCenter)
+	return float64(cCenter) + 2*l/diag*delta, nil
+}
+
+// quadrantCorner returns the index into Rect.Corners() of the corner in
+// the same quadrant as q: Corners() orders them LL, LR, UR, UL.
+func quadrantCorner(b geom.Rect, q geom.Point) int {
+	c := b.Center()
+	east := q.X >= c.X
+	north := q.Y >= c.Y
+	switch {
+	case !east && !north:
+		return 0 // lower-left
+	case east && !north:
+		return 1 // lower-right
+	case east && north:
+		return 2 // upper-right
+	default:
+		return 3 // upper-left
+	}
+}
+
+// MaxK returns the largest catalog-served k.
+func (s *Staircase) MaxK() int { return s.maxK }
+
+// Mode returns the estimation variant.
+func (s *Staircase) Mode() StaircaseMode { return s.mode }
+
+// NumBlocks returns the number of auxiliary blocks carrying catalogs.
+func (s *Staircase) NumBlocks() int { return s.aux.NumBlocks() }
+
+// StorageBytes returns the total serialized size of all catalogs — the
+// storage-overhead metric of Figure 14.
+func (s *Staircase) StorageBytes() int {
+	total := 0
+	for _, c := range s.center {
+		total += c.StorageBytes()
+	}
+	for _, c := range s.corners {
+		total += c.StorageBytes()
+	}
+	for _, q := range s.quads {
+		for _, c := range q {
+			total += c.StorageBytes()
+		}
+	}
+	return total
+}
+
+// CenterCatalog exposes the center-catalog of the block containing p, for
+// inspection and the Figure 4 experiment. It returns nil when p is outside
+// the auxiliary index.
+func (s *Staircase) CenterCatalog(p geom.Point) *catalog.Catalog {
+	blk := s.aux.Find(p)
+	if blk == nil {
+		return nil
+	}
+	return s.center[blk.ID]
+}

@@ -1,0 +1,239 @@
+// Package datagen generates the synthetic spatial workloads used throughout
+// the repository. The paper evaluates on a 0.1-billion-point OpenStreetMap
+// bulk GPS dump, which is not redistributable here; OSMLike substitutes a
+// deterministic generator whose output shares the properties the estimation
+// techniques are sensitive to — heavy, multi-scale spatial skew: dense urban
+// clusters, points strung along road-like polylines, and a sparse uniform
+// background (compare the paper's Figure 10). DESIGN.md §3 documents the
+// substitution.
+//
+// All generators are deterministic given a *rand.Rand, so every experiment
+// in the repository is reproducible bit for bit.
+package datagen
+
+import (
+	"math"
+	"math/rand"
+
+	"knncost/internal/geom"
+)
+
+// WorldBounds is the canonical coordinate frame of the synthetic datasets:
+// a longitude/latitude-like box. Using fixed world bounds mirrors the
+// paper's note that virtual grids can cover "the bounds of the earth".
+var WorldBounds = geom.NewRect(-180, -90, 180, 90)
+
+// Generator produces n points drawn from some spatial distribution.
+type Generator interface {
+	// Generate returns exactly n points inside the generator's bounds.
+	Generate(n int, rng *rand.Rand) []geom.Point
+}
+
+// Uniform draws points independently and uniformly inside Bounds.
+type Uniform struct {
+	Bounds geom.Rect
+}
+
+// Generate implements Generator.
+func (u Uniform) Generate(n int, rng *rand.Rand) []geom.Point {
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = randIn(rng, u.Bounds)
+	}
+	return pts
+}
+
+// Clusters draws points from a mixture of isotropic Gaussian clusters with
+// Zipf-skewed weights — some "cities" are much denser than others, like
+// population data. Points falling outside Bounds are resampled.
+type Clusters struct {
+	Bounds geom.Rect
+	// Num is the number of clusters. Zero means 16.
+	Num int
+	// SigmaFrac is each cluster's standard deviation as a fraction of the
+	// bounds' width, drawn uniformly from (SigmaFrac/4, SigmaFrac].
+	// Zero means 0.02.
+	SigmaFrac float64
+}
+
+// Generate implements Generator.
+func (c Clusters) Generate(n int, rng *rand.Rand) []geom.Point {
+	num := c.Num
+	if num == 0 {
+		num = 16
+	}
+	sigmaFrac := c.SigmaFrac
+	if sigmaFrac == 0 {
+		sigmaFrac = 0.02
+	}
+	type cluster struct {
+		center geom.Point
+		sigma  float64
+		weight float64
+	}
+	clusters := make([]cluster, num)
+	totalWeight := 0.0
+	for i := range clusters {
+		w := 1 / math.Pow(float64(i+1), 1.1) // Zipf-ish skew
+		clusters[i] = cluster{
+			center: randIn(rng, shrink(c.Bounds, 0.05)),
+			sigma:  c.Bounds.Width() * sigmaFrac * (0.25 + 0.75*rng.Float64()),
+			weight: w,
+		}
+		totalWeight += w
+	}
+	pts := make([]geom.Point, 0, n)
+	for len(pts) < n {
+		r := rng.Float64() * totalWeight
+		var cl cluster
+		for _, cand := range clusters {
+			if r < cand.weight {
+				cl = cand
+				break
+			}
+			r -= cand.weight
+		}
+		p := geom.Point{
+			X: cl.center.X + rng.NormFloat64()*cl.sigma,
+			Y: cl.center.Y + rng.NormFloat64()*cl.sigma,
+		}
+		if c.Bounds.Contains(p) {
+			pts = append(pts, p)
+		}
+	}
+	return pts
+}
+
+// Roads draws points jittered around random polylines — the GPS-trace
+// texture of OpenStreetMap bulk data, where most points follow the road
+// network.
+type Roads struct {
+	Bounds geom.Rect
+	// Num is the number of polylines. Zero means 24.
+	Num int
+	// Segments is the number of segments per polyline. Zero means 8.
+	Segments int
+	// JitterFrac is the cross-road Gaussian jitter as a fraction of the
+	// bounds' width. Zero means 0.002.
+	JitterFrac float64
+}
+
+// Generate implements Generator.
+func (r Roads) Generate(n int, rng *rand.Rand) []geom.Point {
+	num := r.Num
+	if num == 0 {
+		num = 24
+	}
+	segments := r.Segments
+	if segments == 0 {
+		segments = 8
+	}
+	jitter := r.JitterFrac
+	if jitter == 0 {
+		jitter = 0.002
+	}
+	// Build the polylines as random walks with momentum.
+	roads := make([][]geom.Point, num)
+	for i := range roads {
+		road := make([]geom.Point, 0, segments+1)
+		p := randIn(rng, shrink(r.Bounds, 0.05))
+		road = append(road, p)
+		heading := rng.Float64() * 2 * math.Pi
+		step := r.Bounds.Width() * 0.04
+		for s := 0; s < segments; s++ {
+			heading += rng.NormFloat64() * 0.6
+			p = geom.Point{
+				X: p.X + math.Cos(heading)*step,
+				Y: p.Y + math.Sin(heading)*step,
+			}
+			road = append(road, p)
+		}
+		roads[i] = road
+	}
+	sigma := r.Bounds.Width() * jitter
+	pts := make([]geom.Point, 0, n)
+	for len(pts) < n {
+		road := roads[rng.Intn(len(roads))]
+		seg := rng.Intn(len(road) - 1)
+		t := rng.Float64()
+		a, b := road[seg], road[seg+1]
+		p := geom.Point{
+			X: a.X + t*(b.X-a.X) + rng.NormFloat64()*sigma,
+			Y: a.Y + t*(b.Y-a.Y) + rng.NormFloat64()*sigma,
+		}
+		if r.Bounds.Contains(p) {
+			pts = append(pts, p)
+		}
+	}
+	return pts
+}
+
+// Component weights a Generator inside a Mixture.
+type Component struct {
+	Gen    Generator
+	Weight float64
+}
+
+// Mixture draws each point from one of its components, chosen with
+// probability proportional to its weight.
+type Mixture struct {
+	Components []Component
+}
+
+// Generate implements Generator.
+func (m Mixture) Generate(n int, rng *rand.Rand) []geom.Point {
+	total := 0.0
+	for _, c := range m.Components {
+		total += c.Weight
+	}
+	counts := make([]int, len(m.Components))
+	for i := 0; i < n; i++ {
+		r := rng.Float64() * total
+		for j, c := range m.Components {
+			if r < c.Weight {
+				counts[j]++
+				break
+			}
+			r -= c.Weight
+		}
+	}
+	pts := make([]geom.Point, 0, n)
+	for j, c := range m.Components {
+		pts = append(pts, c.Gen.Generate(counts[j], rng)...)
+	}
+	// Shuffle so consumers do not see component-sorted input.
+	rng.Shuffle(len(pts), func(i, j int) { pts[i], pts[j] = pts[j], pts[i] })
+	return pts
+}
+
+// OSMLike returns n points with OpenStreetMap-GPS-like skew inside
+// WorldBounds: 55% urban clusters, 35% road traces, 10% uniform background.
+// The same seed always yields the same dataset.
+func OSMLike(n int, seed int64) []geom.Point {
+	rng := rand.New(rand.NewSource(seed))
+	return Mixture{
+		Components: []Component{
+			{Gen: Clusters{Bounds: WorldBounds, Num: 24, SigmaFrac: 0.015}, Weight: 0.55},
+			{Gen: Roads{Bounds: WorldBounds, Num: 32, Segments: 10}, Weight: 0.35},
+			{Gen: Uniform{Bounds: WorldBounds}, Weight: 0.10},
+		},
+	}.Generate(n, rng)
+}
+
+// randIn draws a point uniformly inside r.
+func randIn(rng *rand.Rand, r geom.Rect) geom.Point {
+	return geom.Point{
+		X: r.Min.X + rng.Float64()*r.Width(),
+		Y: r.Min.Y + rng.Float64()*r.Height(),
+	}
+}
+
+// shrink returns r contracted by frac of its extent on every side, keeping
+// generated structure away from the boundary.
+func shrink(r geom.Rect, frac float64) geom.Rect {
+	dx, dy := r.Width()*frac, r.Height()*frac
+	return geom.Rect{
+		Min: geom.Point{X: r.Min.X + dx, Y: r.Min.Y + dy},
+		Max: geom.Point{X: r.Max.X - dx, Y: r.Max.Y - dy},
+	}
+}

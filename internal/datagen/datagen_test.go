@@ -1,0 +1,164 @@
+package datagen
+
+import (
+	"math/rand"
+	"testing"
+
+	"knncost/internal/geom"
+)
+
+func TestUniform(t *testing.T) {
+	b := geom.NewRect(0, 0, 10, 10)
+	pts := Uniform{Bounds: b}.Generate(1000, rand.New(rand.NewSource(1)))
+	if len(pts) != 1000 {
+		t.Fatalf("got %d points, want 1000", len(pts))
+	}
+	for _, p := range pts {
+		if !b.Contains(p) {
+			t.Fatalf("point %v outside bounds", p)
+		}
+	}
+	// Rough uniformity: each quadrant holds about a quarter of the points.
+	for _, q := range b.Quadrants() {
+		c := 0
+		for _, p := range pts {
+			if q.Contains(p) {
+				c++
+			}
+		}
+		if c < 150 || c > 350 {
+			t.Errorf("quadrant %v holds %d of 1000 points", q, c)
+		}
+	}
+}
+
+func TestClustersSkewed(t *testing.T) {
+	b := geom.NewRect(0, 0, 100, 100)
+	pts := Clusters{Bounds: b, Num: 8}.Generate(2000, rand.New(rand.NewSource(2)))
+	if len(pts) != 2000 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	for _, p := range pts {
+		if !b.Contains(p) {
+			t.Fatalf("point %v outside bounds", p)
+		}
+	}
+	// Clustered data must be far from uniform: a 10x10 grid of cells
+	// should show high variance in occupancy.
+	var cells [100]int
+	for _, p := range pts {
+		col := int(p.X / 10)
+		row := int(p.Y / 10)
+		if col > 9 {
+			col = 9
+		}
+		if row > 9 {
+			row = 9
+		}
+		cells[row*10+col]++
+	}
+	mean := 20.0
+	var variance float64
+	for _, c := range cells {
+		variance += (float64(c) - mean) * (float64(c) - mean)
+	}
+	variance /= 100
+	if variance < 4*mean {
+		t.Errorf("cell-count variance %.1f too low for clustered data", variance)
+	}
+}
+
+func TestRoads(t *testing.T) {
+	b := geom.NewRect(0, 0, 100, 100)
+	pts := Roads{Bounds: b, Num: 4, Segments: 6}.Generate(1500, rand.New(rand.NewSource(3)))
+	if len(pts) != 1500 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	for _, p := range pts {
+		if !b.Contains(p) {
+			t.Fatalf("point %v outside bounds", p)
+		}
+	}
+}
+
+func TestMixtureCountsAndBounds(t *testing.T) {
+	b := geom.NewRect(0, 0, 50, 50)
+	m := Mixture{Components: []Component{
+		{Gen: Uniform{Bounds: b}, Weight: 1},
+		{Gen: Clusters{Bounds: b, Num: 3}, Weight: 2},
+	}}
+	pts := m.Generate(900, rand.New(rand.NewSource(4)))
+	if len(pts) != 900 {
+		t.Fatalf("got %d points, want 900", len(pts))
+	}
+	for _, p := range pts {
+		if !b.Contains(p) {
+			t.Fatalf("point %v outside bounds", p)
+		}
+	}
+}
+
+func TestOSMLikeDeterministic(t *testing.T) {
+	a := OSMLike(500, 42)
+	b := OSMLike(500, 42)
+	if len(a) != 500 || len(b) != 500 {
+		t.Fatalf("lengths %d, %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := OSMLike(500, 43)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == 500 {
+		t.Error("different seeds produced identical datasets")
+	}
+	for _, p := range a {
+		if !WorldBounds.Contains(p) {
+			t.Fatalf("point %v outside world bounds", p)
+		}
+	}
+}
+
+func TestOSMLikeIsSkewed(t *testing.T) {
+	pts := OSMLike(5000, 7)
+	// Compare nearest-neighbor spacing variance against uniform: skewed
+	// data has cells that are empty and cells that are packed. Use a
+	// coarse grid occupancy histogram.
+	const g = 16
+	var cells [g * g]int
+	for _, p := range pts {
+		col := int((p.X - WorldBounds.Min.X) / WorldBounds.Width() * g)
+		row := int((p.Y - WorldBounds.Min.Y) / WorldBounds.Height() * g)
+		if col >= g {
+			col = g - 1
+		}
+		if row >= g {
+			row = g - 1
+		}
+		cells[row*g+col]++
+	}
+	empty := 0
+	maxCell := 0
+	for _, c := range cells {
+		if c == 0 {
+			empty++
+		}
+		if c > maxCell {
+			maxCell = c
+		}
+	}
+	mean := float64(len(pts)) / (g * g)
+	if float64(maxCell) < 5*mean {
+		t.Errorf("max cell %d not skewed vs mean %.1f", maxCell, mean)
+	}
+	if empty < 10 {
+		t.Errorf("only %d empty cells; OSM-like data should leave oceans empty", empty)
+	}
+}

@@ -1,0 +1,97 @@
+package geom
+
+import "math"
+
+// MinDist returns the minimum possible Euclidean distance between p and any
+// point of r (the MINDIST metric of Roussopoulos et al.). It is zero when p
+// lies inside r.
+func MinDist(p Point, r Rect) float64 {
+	return math.Sqrt(MinDistSq(p, r))
+}
+
+// MinDistSq returns the square of MinDist(p, r).
+func MinDistSq(p Point, r Rect) float64 {
+	dx := axisGap(p.X, r.Min.X, r.Max.X)
+	dy := axisGap(p.Y, r.Min.Y, r.Max.Y)
+	return dx*dx + dy*dy
+}
+
+// MaxDist returns the maximum possible Euclidean distance between p and any
+// point of r (the MAXDIST metric): the distance from p to the farthest corner
+// of r.
+func MaxDist(p Point, r Rect) float64 {
+	return math.Sqrt(MaxDistSq(p, r))
+}
+
+// MaxDistSq returns the square of MaxDist(p, r).
+func MaxDistSq(p Point, r Rect) float64 {
+	dx := math.Max(math.Abs(p.X-r.Min.X), math.Abs(p.X-r.Max.X))
+	dy := math.Max(math.Abs(p.Y-r.Min.Y), math.Abs(p.Y-r.Max.Y))
+	return dx*dx + dy*dy
+}
+
+// MinDistRect returns the minimum possible distance between any point of a
+// and any point of b. It is zero when the rectangles intersect.
+func MinDistRect(a, b Rect) float64 {
+	dx := rectGap(a.Min.X, a.Max.X, b.Min.X, b.Max.X)
+	dy := rectGap(a.Min.Y, a.Max.Y, b.Min.Y, b.Max.Y)
+	return math.Sqrt(dx*dx + dy*dy)
+}
+
+// MaxDistRect returns the maximum possible distance between any point of a
+// and any point of b: the largest corner-to-corner span along each axis.
+func MaxDistRect(a, b Rect) float64 {
+	dx := math.Max(a.Max.X-b.Min.X, b.Max.X-a.Min.X)
+	dy := math.Max(a.Max.Y-b.Min.Y, b.Max.Y-a.Min.Y)
+	return math.Sqrt(dx*dx + dy*dy)
+}
+
+// axisGap returns the distance from v to the interval [lo, hi], zero when v
+// lies inside it.
+func axisGap(v, lo, hi float64) float64 {
+	switch {
+	case v < lo:
+		return lo - v
+	case v > hi:
+		return v - hi
+	default:
+		return 0
+	}
+}
+
+// rectGap returns the gap between intervals [alo,ahi] and [blo,bhi], zero
+// when they overlap.
+func rectGap(alo, ahi, blo, bhi float64) float64 {
+	switch {
+	case ahi < blo:
+		return blo - ahi
+	case bhi < alo:
+		return alo - bhi
+	default:
+		return 0
+	}
+}
+
+// Origin is anything MINDIST/MAXDIST can be measured from: a query point for
+// k-NN-Select catalogs, or an outer block for k-NN-Join localities. Both
+// Point and Rect implement it.
+type Origin interface {
+	// MinDistTo returns the minimum possible distance from the origin to
+	// any point of r.
+	MinDistTo(r Rect) float64
+	// MaxDistTo returns the maximum possible distance from the origin to
+	// any point of r.
+	MaxDistTo(r Rect) float64
+}
+
+// MinDistTo implements Origin.
+func (p Point) MinDistTo(r Rect) float64 { return MinDist(p, r) }
+
+// MaxDistTo implements Origin.
+func (p Point) MaxDistTo(r Rect) float64 { return MaxDist(p, r) }
+
+// MinDistTo implements Origin.
+func (a Rect) MinDistTo(r Rect) float64 { return MinDistRect(a, r) }
+
+// MaxDistTo implements Origin.
+func (a Rect) MaxDistTo(r Rect) float64 { return MaxDistRect(a, r) }

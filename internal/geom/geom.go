@@ -1,0 +1,161 @@
+// Package geom provides the two-dimensional geometric primitives used
+// throughout knncost: points, axis-aligned rectangles, Euclidean distance,
+// and the MINDIST / MAXDIST metrics of Roussopoulos et al. that drive every
+// best-first index scan in the paper.
+//
+// All distances are Euclidean. Rectangles are closed: a rectangle contains
+// its boundary.
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Point is a location in the two-dimensional Euclidean plane.
+type Point struct {
+	X, Y float64
+}
+
+// Dist returns the Euclidean distance between p and q.
+func (p Point) Dist(q Point) float64 {
+	return math.Sqrt(p.DistSq(q))
+}
+
+// DistSq returns the squared Euclidean distance between p and q. Prefer it
+// for comparisons: it avoids the square root.
+func (p Point) DistSq(q Point) float64 {
+	dx, dy := p.X-q.X, p.Y-q.Y
+	return dx*dx + dy*dy
+}
+
+// String implements fmt.Stringer.
+func (p Point) String() string { return fmt.Sprintf("(%g, %g)", p.X, p.Y) }
+
+// Rect is a closed axis-aligned rectangle with Min as its lower-left and Max
+// as its upper-right corner. A Rect is valid when Min.X <= Max.X and
+// Min.Y <= Max.Y; a degenerate rectangle (zero width or height) is valid.
+type Rect struct {
+	Min, Max Point
+}
+
+// NewRect returns the rectangle spanning the two corner coordinates given in
+// any order.
+func NewRect(x0, y0, x1, y1 float64) Rect {
+	if x0 > x1 {
+		x0, x1 = x1, x0
+	}
+	if y0 > y1 {
+		y0, y1 = y1, y0
+	}
+	return Rect{Min: Point{x0, y0}, Max: Point{x1, y1}}
+}
+
+// Valid reports whether r.Min is component-wise <= r.Max.
+func (r Rect) Valid() bool {
+	return r.Min.X <= r.Max.X && r.Min.Y <= r.Max.Y
+}
+
+// Width returns the extent of r along the x-axis.
+func (r Rect) Width() float64 { return r.Max.X - r.Min.X }
+
+// Height returns the extent of r along the y-axis.
+func (r Rect) Height() float64 { return r.Max.Y - r.Min.Y }
+
+// Area returns the area of r.
+func (r Rect) Area() float64 { return r.Width() * r.Height() }
+
+// Diagonal returns the length of r's diagonal, the normalization constant of
+// the staircase interpolation (Equation 1 of the paper).
+func (r Rect) Diagonal() float64 {
+	w, h := r.Width(), r.Height()
+	return math.Sqrt(w*w + h*h)
+}
+
+// Center returns the center point of r.
+func (r Rect) Center() Point {
+	return Point{(r.Min.X + r.Max.X) / 2, (r.Min.Y + r.Max.Y) / 2}
+}
+
+// Corners returns the four corners of r in counter-clockwise order starting
+// from the lower-left corner.
+func (r Rect) Corners() [4]Point {
+	return [4]Point{
+		{r.Min.X, r.Min.Y},
+		{r.Max.X, r.Min.Y},
+		{r.Max.X, r.Max.Y},
+		{r.Min.X, r.Max.Y},
+	}
+}
+
+// Contains reports whether p lies inside r (boundary inclusive).
+func (r Rect) Contains(p Point) bool {
+	return p.X >= r.Min.X && p.X <= r.Max.X && p.Y >= r.Min.Y && p.Y <= r.Max.Y
+}
+
+// ContainsRect reports whether o lies entirely inside r.
+func (r Rect) ContainsRect(o Rect) bool {
+	return o.Min.X >= r.Min.X && o.Max.X <= r.Max.X &&
+		o.Min.Y >= r.Min.Y && o.Max.Y <= r.Max.Y
+}
+
+// Intersects reports whether r and o share at least one point (touching
+// boundaries count).
+func (r Rect) Intersects(o Rect) bool {
+	return r.Min.X <= o.Max.X && o.Min.X <= r.Max.X &&
+		r.Min.Y <= o.Max.Y && o.Min.Y <= r.Max.Y
+}
+
+// Union returns the smallest rectangle containing both r and o.
+func (r Rect) Union(o Rect) Rect {
+	return Rect{
+		Min: Point{math.Min(r.Min.X, o.Min.X), math.Min(r.Min.Y, o.Min.Y)},
+		Max: Point{math.Max(r.Max.X, o.Max.X), math.Max(r.Max.Y, o.Max.Y)},
+	}
+}
+
+// Expand returns r grown to contain p.
+func (r Rect) Expand(p Point) Rect {
+	return Rect{
+		Min: Point{math.Min(r.Min.X, p.X), math.Min(r.Min.Y, p.Y)},
+		Max: Point{math.Max(r.Max.X, p.X), math.Max(r.Max.Y, p.Y)},
+	}
+}
+
+// ContainsCircle reports whether the disk of the given radius centered at c
+// lies entirely inside r. The density-based estimator uses it to decide when
+// its search region is covered by the examined blocks.
+func (r Rect) ContainsCircle(c Point, radius float64) bool {
+	return c.X-radius >= r.Min.X && c.X+radius <= r.Max.X &&
+		c.Y-radius >= r.Min.Y && c.Y+radius <= r.Max.Y
+}
+
+// Quadrants returns the four equal quadrants of r in the order SW, SE, NW,
+// NE — the recursive decomposition step of the region quadtree.
+func (r Rect) Quadrants() [4]Rect {
+	c := r.Center()
+	return [4]Rect{
+		{Min: r.Min, Max: c}, // SW
+		{Min: Point{c.X, r.Min.Y}, Max: Point{r.Max.X, c.Y}}, // SE
+		{Min: Point{r.Min.X, c.Y}, Max: Point{c.X, r.Max.Y}}, // NW
+		{Min: c, Max: r.Max}, // NE
+	}
+}
+
+// String implements fmt.Stringer.
+func (r Rect) String() string {
+	return fmt.Sprintf("[%g,%g × %g,%g]", r.Min.X, r.Max.X, r.Min.Y, r.Max.Y)
+}
+
+// BoundsOf returns the smallest rectangle containing all pts. It returns a
+// zero Rect when pts is empty.
+func BoundsOf(pts []Point) Rect {
+	if len(pts) == 0 {
+		return Rect{}
+	}
+	r := Rect{Min: pts[0], Max: pts[0]}
+	for _, p := range pts[1:] {
+		r = r.Expand(p)
+	}
+	return r
+}

@@ -1,0 +1,299 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestNewRectNormalizes(t *testing.T) {
+	r := NewRect(5, 7, 1, 2)
+	want := Rect{Min: Point{1, 2}, Max: Point{5, 7}}
+	if r != want {
+		t.Fatalf("NewRect(5,7,1,2) = %v, want %v", r, want)
+	}
+	if !r.Valid() {
+		t.Fatalf("normalized rect should be valid")
+	}
+}
+
+func TestRectBasics(t *testing.T) {
+	r := NewRect(0, 0, 4, 3)
+	if got := r.Width(); got != 4 {
+		t.Errorf("Width = %g, want 4", got)
+	}
+	if got := r.Height(); got != 3 {
+		t.Errorf("Height = %g, want 3", got)
+	}
+	if got := r.Area(); got != 12 {
+		t.Errorf("Area = %g, want 12", got)
+	}
+	if got := r.Diagonal(); !almostEq(got, 5) {
+		t.Errorf("Diagonal = %g, want 5", got)
+	}
+	if got := r.Center(); got != (Point{2, 1.5}) {
+		t.Errorf("Center = %v, want (2, 1.5)", got)
+	}
+}
+
+func TestRectContains(t *testing.T) {
+	r := NewRect(0, 0, 2, 2)
+	cases := []struct {
+		p    Point
+		want bool
+	}{
+		{Point{1, 1}, true},
+		{Point{0, 0}, true}, // boundary inclusive
+		{Point{2, 2}, true}, // boundary inclusive
+		{Point{2.0001, 1}, false},
+		{Point{-0.0001, 1}, false},
+		{Point{1, 3}, false},
+	}
+	for _, c := range cases {
+		if got := r.Contains(c.p); got != c.want {
+			t.Errorf("Contains(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestRectIntersects(t *testing.T) {
+	a := NewRect(0, 0, 2, 2)
+	cases := []struct {
+		b    Rect
+		want bool
+	}{
+		{NewRect(1, 1, 3, 3), true},
+		{NewRect(2, 2, 3, 3), true}, // touching corner counts
+		{NewRect(2, 0, 4, 2), true}, // touching edge counts
+		{NewRect(2.1, 0, 4, 2), false},
+		{NewRect(-1, -1, -0.5, -0.5), false},
+		{NewRect(0.5, 0.5, 1.5, 1.5), true}, // fully inside
+	}
+	for _, c := range cases {
+		if got := a.Intersects(c.b); got != c.want {
+			t.Errorf("Intersects(%v) = %v, want %v", c.b, got, c.want)
+		}
+		if got := c.b.Intersects(a); got != c.want {
+			t.Errorf("Intersects is not symmetric for %v", c.b)
+		}
+	}
+}
+
+func TestQuadrantsPartition(t *testing.T) {
+	r := NewRect(-1, -1, 3, 5)
+	qs := r.Quadrants()
+	var area float64
+	for _, q := range qs {
+		if !r.ContainsRect(q) {
+			t.Errorf("quadrant %v not inside %v", q, r)
+		}
+		area += q.Area()
+	}
+	if !almostEq(area, r.Area()) {
+		t.Errorf("quadrant areas sum to %g, want %g", area, r.Area())
+	}
+	// Quadrants only overlap on shared edges: pairwise intersection has
+	// zero area.
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			a, b := qs[i], qs[j]
+			if !a.Intersects(b) {
+				continue
+			}
+			w := math.Min(a.Max.X, b.Max.X) - math.Max(a.Min.X, b.Min.X)
+			h := math.Min(a.Max.Y, b.Max.Y) - math.Max(a.Min.Y, b.Min.Y)
+			if w*h > 1e-12 {
+				t.Errorf("quadrants %d and %d overlap with area %g", i, j, w*h)
+			}
+		}
+	}
+}
+
+func TestMinMaxDistKnownValues(t *testing.T) {
+	r := NewRect(0, 0, 2, 2)
+	cases := []struct {
+		p        Point
+		min, max float64
+	}{
+		{Point{1, 1}, 0, math.Sqrt2},       // center: max = dist to corner
+		{Point{0, 0}, 0, 2 * math.Sqrt2},   // corner
+		{Point{3, 1}, 1, math.Sqrt(9 + 1)}, // farthest corner (0,0) or (0,2)
+		{Point{3, 3}, math.Sqrt2, 3 * math.Sqrt2},
+		{Point{-1, 1}, 1, math.Sqrt(9 + 1)},
+	}
+	for _, c := range cases {
+		if got := MinDist(c.p, r); !almostEq(got, c.min) {
+			t.Errorf("MinDist(%v) = %g, want %g", c.p, got, c.min)
+		}
+		if got := MaxDist(c.p, r); !almostEq(got, c.max) {
+			t.Errorf("MaxDist(%v) = %g, want %g", c.p, got, c.max)
+		}
+	}
+}
+
+func TestMinMaxDistRectKnownValues(t *testing.T) {
+	a := NewRect(0, 0, 1, 1)
+	cases := []struct {
+		b        Rect
+		min, max float64
+	}{
+		{NewRect(2, 0, 3, 1), 1, math.Sqrt(9 + 1)},
+		{NewRect(0.5, 0.5, 2, 2), 0, 2 * math.Sqrt2},
+		{NewRect(2, 2, 3, 3), math.Sqrt2, 3 * math.Sqrt2},
+		{a, 0, math.Sqrt2},
+	}
+	for _, c := range cases {
+		if got := MinDistRect(a, c.b); !almostEq(got, c.min) {
+			t.Errorf("MinDistRect(%v) = %g, want %g", c.b, got, c.min)
+		}
+		if got := MaxDistRect(a, c.b); !almostEq(got, c.max) {
+			t.Errorf("MaxDistRect(%v) = %g, want %g", c.b, got, c.max)
+		}
+	}
+}
+
+func TestContainsCircle(t *testing.T) {
+	r := NewRect(0, 0, 10, 10)
+	if !r.ContainsCircle(Point{5, 5}, 5) {
+		t.Errorf("inscribed circle should be contained")
+	}
+	if r.ContainsCircle(Point{5, 5}, 5.001) {
+		t.Errorf("slightly larger circle should not be contained")
+	}
+	if r.ContainsCircle(Point{1, 5}, 2) {
+		t.Errorf("circle crossing the left edge should not be contained")
+	}
+}
+
+func TestBoundsOf(t *testing.T) {
+	if got := BoundsOf(nil); got != (Rect{}) {
+		t.Errorf("BoundsOf(nil) = %v, want zero", got)
+	}
+	pts := []Point{{3, 1}, {-2, 5}, {0, 0}}
+	got := BoundsOf(pts)
+	want := Rect{Min: Point{-2, 0}, Max: Point{3, 5}}
+	if got != want {
+		t.Errorf("BoundsOf = %v, want %v", got, want)
+	}
+	for _, p := range pts {
+		if !got.Contains(p) {
+			t.Errorf("bounds %v should contain %v", got, p)
+		}
+	}
+}
+
+// randRect draws a valid rectangle inside [-100,100]^2.
+func randRect(rng *rand.Rand) Rect {
+	x0 := rng.Float64()*200 - 100
+	y0 := rng.Float64()*200 - 100
+	return NewRect(x0, y0, x0+rng.Float64()*50, y0+rng.Float64()*50)
+}
+
+func randPoint(rng *rand.Rand) Point {
+	return Point{rng.Float64()*300 - 150, rng.Float64()*300 - 150}
+}
+
+// randPointIn draws a point inside r.
+func randPointIn(rng *rand.Rand, r Rect) Point {
+	return Point{
+		r.Min.X + rng.Float64()*r.Width(),
+		r.Min.Y + rng.Float64()*r.Height(),
+	}
+}
+
+// Property: for any point p, rect r and point x in r:
+// MinDist(p,r) <= dist(p,x) <= MaxDist(p,r).
+func TestMinMaxDistBracketProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := func(seed int64) bool {
+		local := rand.New(rand.NewSource(seed))
+		r := randRect(local)
+		p := randPoint(local)
+		lo, hi := MinDist(p, r), MaxDist(p, r)
+		for i := 0; i < 32; i++ {
+			d := p.Dist(randPointIn(local, r))
+			if d < lo-1e-9 || d > hi+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 300, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: for rects a, b and points x in a, y in b:
+// MinDistRect(a,b) <= dist(x,y) <= MaxDistRect(a,b); both are symmetric.
+func TestMinMaxDistRectBracketProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	f := func(seed int64) bool {
+		local := rand.New(rand.NewSource(seed))
+		a, b := randRect(local), randRect(local)
+		lo, hi := MinDistRect(a, b), MaxDistRect(a, b)
+		if !almostEq(lo, MinDistRect(b, a)) || !almostEq(hi, MaxDistRect(b, a)) {
+			return false
+		}
+		for i := 0; i < 32; i++ {
+			d := randPointIn(local, a).Dist(randPointIn(local, b))
+			if d < lo-1e-9 || d > hi+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 300, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: MinDist(p, r) == 0 iff r contains p (within float tolerance).
+func TestMinDistZeroIffContains(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	f := func(seed int64) bool {
+		local := rand.New(rand.NewSource(seed))
+		r := randRect(local)
+		p := randPoint(local)
+		return (MinDist(p, r) == 0) == r.Contains(p)
+	}
+	cfg := &quick.Config{MaxCount: 500, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: point-origin and rect-origin metrics agree when the rect origin
+// is degenerate (a single point).
+func TestOriginPointRectConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	f := func(seed int64) bool {
+		local := rand.New(rand.NewSource(seed))
+		r := randRect(local)
+		p := randPoint(local)
+		deg := Rect{Min: p, Max: p}
+		return almostEq(p.MinDistTo(r), deg.MinDistTo(r)) &&
+			almostEq(p.MaxDistTo(r), deg.MaxDistTo(r))
+	}
+	cfg := &quick.Config{MaxCount: 300, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUnionExpand(t *testing.T) {
+	a := NewRect(0, 0, 1, 1)
+	b := NewRect(2, -1, 3, 0.5)
+	u := a.Union(b)
+	if !u.ContainsRect(a) || !u.ContainsRect(b) {
+		t.Errorf("union %v must contain both operands", u)
+	}
+	e := a.Expand(Point{5, 5})
+	if !e.Contains(Point{5, 5}) || !e.ContainsRect(a) {
+		t.Errorf("expand must contain the point and the original rect")
+	}
+}

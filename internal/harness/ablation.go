@@ -1,0 +1,99 @@
+package harness
+
+import (
+	"fmt"
+
+	"knncost/internal/core"
+	"knncost/internal/knn"
+)
+
+// Ablation compares the staircase design choices the paper fixes without
+// evaluating alternatives:
+//
+//   - corner handling: merged max over the four corners (the paper's
+//     choice), the per-quadrant corner (extension), or none (center-only);
+//   - alongside the density-based baseline.
+//
+// It reports accuracy and storage at the full scale, bucketing the error by
+// the magnitude of the true cost — small-cost queries dominate the average
+// error at scaled-down block capacities (see EXPERIMENTS.md).
+func Ablation(e *Env) (*Table, error) {
+	cfg := e.cfg
+	tree := e.Tree(cfg.MaxScale)
+	cc, err := e.Staircase(cfg.MaxScale, core.ModeCenterCorners)
+	if err != nil {
+		return nil, err
+	}
+	co, err := e.Staircase(cfg.MaxScale, core.ModeCenterOnly)
+	if err != nil {
+		return nil, err
+	}
+	cq, err := e.Staircase(cfg.MaxScale, core.ModeCenterQuadrant)
+	if err != nil {
+		return nil, err
+	}
+	density := core.NewDensityBased(tree.CountTree())
+
+	var small, big, all ablationBucket
+	estimators := []core.SelectEstimator{cc, co, cq, density}
+
+	rng := e.rng(99)
+	queries := e.queryPoints(cfg.SelectQueries, cfg.MaxScale, rng)
+	for _, q := range queries {
+		k := 1 + rng.Intn(cfg.MaxK)
+		actual := float64(knn.SelectCost(tree, q, k))
+		if actual == 0 {
+			continue
+		}
+		var errs [4]float64
+		for i, est := range estimators {
+			v, err := est.EstimateSelect(q, k)
+			if err != nil {
+				return nil, err
+			}
+			errs[i] = errRatio(v, actual)
+		}
+		magnitude := &small
+		if actual > 5 {
+			magnitude = &big
+		}
+		for _, b := range []*ablationBucket{&all, magnitude} {
+			for i := range errs {
+				b.sum[i] += errs[i]
+			}
+			b.n++
+		}
+	}
+
+	t := &Table{
+		ID:    "ablation",
+		Title: fmt.Sprintf("staircase corner-handling ablation (scale %d, %d queries)", cfg.MaxScale, cfg.SelectQueries),
+		Columns: []string{"bucket", "n",
+			"err_corners_max", "err_quadrant", "err_center_only", "err_density",
+			"storage_corners_B", "storage_quadrant_B", "storage_center_B"},
+	}
+	for _, row := range []struct {
+		name string
+		b    *ablationBucket
+	}{{"all", &all}, {"cost<=5", &small}, {"cost>5", &big}} {
+		if row.b.n == 0 {
+			continue
+		}
+		t.AddRow(row.name, fmt.Sprintf("%.0f", row.b.n),
+			fmt.Sprintf("%.3f", row.b.sum[0]/row.b.n),
+			fmt.Sprintf("%.3f", row.b.sum[2]/row.b.n),
+			fmt.Sprintf("%.3f", row.b.sum[1]/row.b.n),
+			fmt.Sprintf("%.3f", row.b.sum[3]/row.b.n),
+			fmt.Sprintf("%d", cc.StorageBytes()),
+			fmt.Sprintf("%d", cq.StorageBytes()),
+			fmt.Sprintf("%d", co.StorageBytes()))
+	}
+	return t, nil
+}
+
+// ablationBucket accumulates per-estimator error sums for one cost-range
+// bucket of the ablation study.
+type ablationBucket struct {
+	sum [4]float64
+	n   float64
+}

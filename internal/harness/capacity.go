@@ -1,0 +1,81 @@
+package harness
+
+import (
+	"fmt"
+
+	"knncost/internal/core"
+	"knncost/internal/datagen"
+	"knncost/internal/knn"
+	"knncost/internal/quadtree"
+)
+
+// CapacitySweep is an extension experiment that explains the Figure 11
+// deviation recorded in EXPERIMENTS.md: it sweeps the block capacity at a
+// fixed dataset size and reports each select estimator's error ratio next
+// to the mean true cost. As capacity grows toward the paper's regime
+// (capacity ≈ MAX_K), typical costs shrink toward a handful of blocks and
+// relative error becomes dominated by ±1-block absolute differences —
+// hitting the Center+Corners interpolation hardest.
+func CapacitySweep(e *Env) (*Table, error) {
+	cfg := e.cfg
+	pts := e.Dataset(cfg.MaxScale)
+	t := &Table{
+		ID: "capacity",
+		Title: fmt.Sprintf("select estimation error vs block capacity (%d points, %d queries, k in [1,%d])",
+			len(pts), cfg.SelectQueries, cfg.MaxK),
+		Columns: []string{"capacity", "blocks", "mean_actual_cost",
+			"err_staircase_cc", "err_staircase_co", "err_density"},
+	}
+	for _, capacity := range []int{64, 128, 256, 512, 1024} {
+		tree := quadtree.Build(pts, quadtree.Options{
+			Capacity: capacity,
+			Bounds:   datagen.WorldBounds,
+		}).Index()
+		cc, err := core.BuildStaircase(tree, core.StaircaseOptions{MaxK: cfg.MaxK, Mode: core.ModeCenterCorners})
+		if err != nil {
+			return nil, err
+		}
+		co, err := core.BuildStaircase(tree, core.StaircaseOptions{MaxK: cfg.MaxK, Mode: core.ModeCenterOnly})
+		if err != nil {
+			return nil, err
+		}
+		density := core.NewDensityBased(tree.CountTree())
+
+		rng := e.rng(int64(7000 + capacity))
+		queries := e.queryPoints(cfg.SelectQueries, cfg.MaxScale, rng)
+		var sumCC, sumCO, sumD, sumActual float64
+		counted := 0
+		for _, q := range queries {
+			k := 1 + rng.Intn(cfg.MaxK)
+			actual := float64(knn.SelectCost(tree, q, k))
+			if actual == 0 {
+				continue
+			}
+			est, err := cc.EstimateSelect(q, k)
+			if err != nil {
+				return nil, err
+			}
+			sumCC += errRatio(est, actual)
+			est, err = co.EstimateSelect(q, k)
+			if err != nil {
+				return nil, err
+			}
+			sumCO += errRatio(est, actual)
+			est, err = density.EstimateSelect(q, k)
+			if err != nil {
+				return nil, err
+			}
+			sumD += errRatio(est, actual)
+			sumActual += actual
+			counted++
+		}
+		n := float64(counted)
+		t.AddRow(fmt.Sprintf("%d", capacity),
+			fmt.Sprintf("%d", tree.NumBlocks()),
+			fmt.Sprintf("%.1f", sumActual/n),
+			fmt.Sprintf("%.3f", sumCC/n),
+			fmt.Sprintf("%.3f", sumCO/n),
+			fmt.Sprintf("%.3f", sumD/n))
+	}
+	return t, nil
+}

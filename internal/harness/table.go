@@ -1,0 +1,83 @@
+// Package harness regenerates every figure of the paper's evaluation
+// section (§5) against the synthetic OSM-like workload: one exported
+// function per figure, each returning a Table whose rows mirror the series
+// the paper plots. DESIGN.md §4 maps figures to functions; EXPERIMENTS.md
+// records paper-vs-measured results.
+package harness
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a titled grid of formatted results — one per reproduced figure.
+type Table struct {
+	// ID is the experiment identifier, e.g. "fig11".
+	ID string
+	// Title describes the experiment, matching the paper's caption.
+	Title string
+	// Columns are the column headers.
+	Columns []string
+	// Rows hold formatted cells, one row per x-axis value.
+	Rows [][]string
+}
+
+// AddRow appends a row of already-formatted cells.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Fprint writes the table as aligned text.
+func (t *Table) Fprint(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "%s — %s\n", t.ID, t.Title); err != nil {
+		return err
+	}
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) string {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%*s", widths[i], c)
+		}
+		return "  " + strings.Join(parts, " | ")
+	}
+	if _, err := fmt.Fprintln(w, line(t.Columns)); err != nil {
+		return err
+	}
+	total := len(widths) + 2
+	for _, wd := range widths {
+		total += wd + 3
+	}
+	if _, err := fmt.Fprintln(w, "  "+strings.Repeat("-", total-2)); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if _, err := fmt.Fprintln(w, line(row)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CSV writes the table as comma-separated values with a header row.
+func (t *Table) CSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, strings.Join(t.Columns, ",")); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,182 @@
+// Package kdtree implements a region kd-tree (a k-d trie): space is
+// recursively bisected by axis-aligned splits at region midpoints,
+// alternating axes, until a leaf holds at most the block capacity. Like
+// the region quadtree it is a space-partitioning index — leaves tile the
+// indexed region — so it qualifies both as a data index and as the
+// auxiliary statistics index the staircase technique requires (§3.3 of the
+// paper names "a quadtree or grid"; any space partitioning works, which
+// this package demonstrates).
+//
+// Compared with the quadtree, the kd-tree splits one axis at a time, so
+// decomposition adapts with finer granularity (×2 per level instead of ×4)
+// at the price of deeper trees.
+package kdtree
+
+import (
+	"fmt"
+
+	"knncost/internal/geom"
+	"knncost/internal/index"
+)
+
+// DefaultCapacity is the default maximum number of points per leaf block.
+const DefaultCapacity = 512
+
+// DefaultMaxDepth bounds the recursion; at 56 alternating splits each axis
+// has been halved 28 times, matching the quadtree's default resolution.
+const DefaultMaxDepth = 56
+
+// Options configure tree construction.
+type Options struct {
+	// Capacity is the maximum number of points per leaf. Zero means
+	// DefaultCapacity.
+	Capacity int
+	// MaxDepth bounds the split depth. Zero means DefaultMaxDepth.
+	MaxDepth int
+	// Bounds fixes the indexed region. A zero rectangle means "use the
+	// bounding box of the input points". Points outside Bounds are
+	// rejected, as with the region quadtree.
+	Bounds geom.Rect
+}
+
+func (o Options) withDefaults(pts []geom.Point) Options {
+	if o.Capacity <= 0 {
+		o.Capacity = DefaultCapacity
+	}
+	if o.MaxDepth <= 0 {
+		o.MaxDepth = DefaultMaxDepth
+	}
+	if o.Bounds == (geom.Rect{}) {
+		o.Bounds = geom.BoundsOf(pts)
+	}
+	return o
+}
+
+type node struct {
+	bounds geom.Rect
+	// children[0] holds the low half, children[1] the high half; nil for
+	// a leaf.
+	children *[2]*node
+	points   []geom.Point
+}
+
+func (n *node) isLeaf() bool { return n.children == nil }
+
+// Tree is a region kd-tree over a fixed bounded region.
+type Tree struct {
+	root *node
+	opt  Options
+	size int
+}
+
+// Build constructs a kd-tree over pts. It panics if a point lies outside
+// the configured bounds (caller bug: the decomposed region is fixed).
+func Build(pts []geom.Point, opt Options) *Tree {
+	opt = opt.withDefaults(pts)
+	for _, p := range pts {
+		if !opt.Bounds.Contains(p) {
+			panic(fmt.Sprintf("kdtree: point %v outside bounds %v", p, opt.Bounds))
+		}
+	}
+	t := &Tree{opt: opt, size: len(pts)}
+	owned := make([]geom.Point, len(pts))
+	copy(owned, pts)
+	t.root = build(opt.Bounds, owned, 0, opt)
+	return t
+}
+
+// build recursively bisects the region, splitting on x at even depths and
+// y at odd depths.
+func build(bounds geom.Rect, pts []geom.Point, depth int, opt Options) *node {
+	if len(pts) <= opt.Capacity || depth >= opt.MaxDepth {
+		return &node{bounds: bounds, points: pts}
+	}
+	lowBounds, highBounds := halves(bounds, depth)
+	var low, high []geom.Point
+	for _, p := range pts {
+		if inLow(bounds, p, depth) {
+			low = append(low, p)
+		} else {
+			high = append(high, p)
+		}
+	}
+	children := &[2]*node{
+		build(lowBounds, low, depth+1, opt),
+		build(highBounds, high, depth+1, opt),
+	}
+	return &node{bounds: bounds, children: children}
+}
+
+// halves returns the two halves of bounds for the split axis at depth.
+func halves(bounds geom.Rect, depth int) (low, high geom.Rect) {
+	c := bounds.Center()
+	if depth%2 == 0 { // split on x
+		return geom.Rect{Min: bounds.Min, Max: geom.Point{X: c.X, Y: bounds.Max.Y}},
+			geom.Rect{Min: geom.Point{X: c.X, Y: bounds.Min.Y}, Max: bounds.Max}
+	}
+	return geom.Rect{Min: bounds.Min, Max: geom.Point{X: bounds.Max.X, Y: c.Y}},
+		geom.Rect{Min: geom.Point{X: bounds.Min.X, Y: c.Y}, Max: bounds.Max}
+}
+
+// inLow reports whether p belongs to the low half of bounds at depth;
+// points on the split line go high, so each point lands in exactly one
+// leaf.
+func inLow(bounds geom.Rect, p geom.Point, depth int) bool {
+	c := bounds.Center()
+	if depth%2 == 0 {
+		return p.X < c.X
+	}
+	return p.Y < c.Y
+}
+
+// Insert adds p, splitting leaves that exceed capacity. It returns an
+// error when p lies outside the tree bounds.
+func (t *Tree) Insert(p geom.Point) error {
+	if !t.opt.Bounds.Contains(p) {
+		return fmt.Errorf("kdtree: point %v outside bounds %v", p, t.opt.Bounds)
+	}
+	n, depth := t.root, 0
+	for !n.isLeaf() {
+		if inLow(n.bounds, p, depth) {
+			n = n.children[0]
+		} else {
+			n = n.children[1]
+		}
+		depth++
+	}
+	n.points = append(n.points, p)
+	t.size++
+	if len(n.points) > t.opt.Capacity && depth < t.opt.MaxDepth {
+		pts := n.points
+		n.points = nil
+		sub := build(n.bounds, pts, depth, t.opt)
+		n.children = sub.children
+	}
+	return nil
+}
+
+// Len returns the number of points stored.
+func (t *Tree) Len() int { return t.size }
+
+// Bounds returns the fixed indexed region.
+func (t *Tree) Bounds() geom.Rect { return t.opt.Bounds }
+
+// Index exports a snapshot as an index.Tree. kd-tree leaves tile the root
+// region, so the snapshot reports Partitioning() == true.
+func (t *Tree) Index() *index.Tree {
+	var conv func(n *node) *index.Node
+	conv = func(n *node) *index.Node {
+		out := &index.Node{Bounds: n.bounds}
+		if n.isLeaf() {
+			out.Block = &index.Block{
+				Bounds: n.bounds,
+				Points: n.points,
+				Count:  len(n.points),
+			}
+			return out
+		}
+		out.Children = []*index.Node{conv(n.children[0]), conv(n.children[1])}
+		return out
+	}
+	return index.New(conv(t.root), true)
+}

@@ -1,0 +1,171 @@
+// Package knn implements the k-NN-Select evaluation algorithms whose block
+// scan counts define the ground-truth cost the paper estimates:
+//
+//   - Browser: the distance browsing algorithm of Hjaltason & Samet (paper
+//     ref [14]), which retrieves neighbors incrementally and is optimal in
+//     the number of blocks scanned. The paper models the cost of exactly
+//     this algorithm (§2).
+//   - SelectDF: the depth-first branch-and-bound algorithm of Roussopoulos
+//     et al. (paper ref [19]), the suboptimal predecessor §2 contrasts
+//     distance browsing with.
+//
+// Both operate on any index.Tree; the cost of a query is Stats.BlocksScanned.
+package knn
+
+import (
+	"knncost/internal/geom"
+	"knncost/internal/index"
+	"knncost/internal/pqueue"
+)
+
+// Neighbor is one result of a k-NN-Select: a data point and its Euclidean
+// distance from the query point.
+type Neighbor struct {
+	Point geom.Point
+	Dist  float64
+}
+
+// Stats records the work an algorithm performed. BlocksScanned is the
+// paper's cost metric.
+type Stats struct {
+	// BlocksScanned is the number of leaf blocks whose points were read.
+	BlocksScanned int
+	// PointsEnqueued is the number of data points inserted into the
+	// tuples-queue (distance browsing) or evaluated (depth-first).
+	PointsEnqueued int
+}
+
+// Browser retrieves the neighbors of a query point one at a time in
+// ascending distance order — the getNextNearest() interface of distance
+// browsing. It maintains the two priority queues of the algorithm: a
+// blocks-queue ordered by MINDIST from the query point (the incremental
+// MINDIST scan) and a tuples-queue of already-read points ordered by their
+// distance.
+//
+// A block is scanned only when the nearest unreturned point might live in
+// it, i.e. when the head of the blocks-queue has MINDIST smaller than the
+// head of the tuples-queue. This lazy policy is what makes the algorithm
+// optimal in blocks scanned and usable when k is not known in advance (the
+// "k-closest restaurants that provide seafood" scenario of §2).
+type Browser struct {
+	q      geom.Point
+	scan   *index.Scan
+	tuples pqueue.Queue[geom.Point]
+	stats  Stats
+}
+
+// NewBrowser starts a distance-browsing traversal of ix from query point q.
+func NewBrowser(ix *index.Tree, q geom.Point) *Browser {
+	return &Browser{q: q, scan: ix.ScanMinDist(q)}
+}
+
+// Next returns the next nearest neighbor of the query point. The boolean is
+// false when the index is exhausted.
+func (b *Browser) Next() (Neighbor, bool) {
+	for {
+		tupleDist, haveTuple := b.tuples.PeekPriority()
+		blockDist, haveBlock := b.scan.PeekDist()
+		switch {
+		case !haveTuple && !haveBlock:
+			return Neighbor{}, false
+		case haveTuple && (!haveBlock || tupleDist <= blockDist):
+			p, _ := b.tuples.Pop()
+			return Neighbor{Point: p, Dist: tupleDist}, true
+		default:
+			blk, _, ok := b.scan.Next()
+			if !ok {
+				// PeekDist promised a block; Next must deliver.
+				panic("knn: blocks-queue peek/pop mismatch")
+			}
+			b.stats.BlocksScanned++
+			b.stats.PointsEnqueued += len(blk.Points)
+			b.tuples.Grow(len(blk.Points))
+			for _, p := range blk.Points {
+				b.tuples.Push(p, b.q.Dist(p))
+			}
+		}
+	}
+}
+
+// Stats returns the work performed so far.
+func (b *Browser) Stats() Stats { return b.stats }
+
+// Select answers a k-NN-Select σ_{k,q} with distance browsing and reports
+// the blocks-scanned cost. It returns fewer than k neighbors when the index
+// holds fewer than k points.
+func Select(ix *index.Tree, q geom.Point, k int) ([]Neighbor, Stats) {
+	b := NewBrowser(ix, q)
+	out := make([]Neighbor, 0, k)
+	for len(out) < k {
+		n, ok := b.Next()
+		if !ok {
+			break
+		}
+		out = append(out, n)
+	}
+	return out, b.stats
+}
+
+// SelectCost returns only the blocks-scanned cost of a k-NN-Select under
+// distance browsing — the ground truth the estimators of internal/core are
+// judged against.
+func SelectCost(ix *index.Tree, q geom.Point, k int) int {
+	b := NewBrowser(ix, q)
+	for i := 0; i < k; i++ {
+		if _, ok := b.Next(); !ok {
+			break
+		}
+	}
+	return b.stats.BlocksScanned
+}
+
+// SelectDF answers a k-NN-Select with the branch-and-bound algorithm of
+// Roussopoulos et al.: blocks are visited in MINDIST order and a block is
+// scanned whenever its MINDIST does not exceed the distance of the k-th
+// nearest point encountered so far. The bound tightens as blocks are read,
+// but unlike distance browsing the algorithm commits to scanning a block
+// before knowing whether queued tuples already cover k; its cost is
+// therefore always >= the Browser's (a tested invariant).
+func SelectDF(ix *index.Tree, q geom.Point, k int) ([]Neighbor, Stats) {
+	var stats Stats
+	if k <= 0 {
+		return nil, stats
+	}
+	scan := ix.ScanMinDist(q)
+	// best is a max-heap of the k nearest points so far, keyed by negated
+	// distance.
+	var best pqueue.Queue[Neighbor]
+	kth := func() (float64, bool) {
+		if best.Len() < k {
+			return 0, false
+		}
+		d, ok := best.PeekPriority()
+		return -d, ok
+	}
+	for {
+		blk, dist, ok := scan.Next()
+		if !ok {
+			break
+		}
+		if bound, full := kth(); full && dist > bound {
+			break
+		}
+		stats.BlocksScanned++
+		stats.PointsEnqueued += len(blk.Points)
+		for _, p := range blk.Points {
+			d := q.Dist(p)
+			if bound, full := kth(); full && d >= bound {
+				continue
+			}
+			best.Push(Neighbor{Point: p, Dist: d}, -d)
+			if best.Len() > k {
+				best.Pop()
+			}
+		}
+	}
+	out := make([]Neighbor, best.Len())
+	for i := len(out) - 1; i >= 0; i-- {
+		out[i], _ = best.Pop()
+	}
+	return out, stats
+}

@@ -1,0 +1,114 @@
+package planner
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"knncost/internal/datagen"
+	"knncost/internal/geom"
+)
+
+func TestPlanKNNSelectInRegionValidation(t *testing.T) {
+	rel, pts := buildRelation(t, 5000, 20, 128)
+	if _, err := PlanKNNSelectInRegion(rel, pts[0], 0, geom.NewRect(0, 0, 1, 1)); err == nil {
+		t.Error("k=0 should be rejected")
+	}
+	if _, err := PlanKNNSelectInRegion(rel, pts[0], 5, geom.Rect{}); err == nil {
+		t.Error("zero region should be rejected")
+	}
+}
+
+func TestRegionPlansAgree(t *testing.T) {
+	rel, pts := buildRelation(t, 30000, 21, 128)
+	q := pts[50]
+	// A region around the query point, large enough to hold k points.
+	region := geom.NewRect(q.X-20, q.Y-20, q.X+20, q.Y+20)
+	d, err := PlanKNNSelectInRegion(rel, q, 12, region)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Alternatives) != 2 {
+		t.Fatalf("expected two plans, got %d", len(d.Alternatives))
+	}
+	var results [][]float64
+	for _, plan := range d.Alternatives {
+		exec, err := ExecuteSelect(&Decision{Chosen: plan, Alternatives: d.Alternatives})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, n := range exec.Neighbors {
+			if !region.Contains(n.Point) {
+				t.Fatalf("plan %q returned point outside region", plan.Description)
+			}
+		}
+		ds := make([]float64, len(exec.Neighbors))
+		for i, n := range exec.Neighbors {
+			ds[i] = n.Dist
+		}
+		sort.Float64s(ds)
+		results = append(results, ds)
+	}
+	if len(results[0]) != len(results[1]) {
+		t.Fatalf("plans disagree on cardinality: %d vs %d", len(results[0]), len(results[1]))
+	}
+	for i := range results[0] {
+		if diff := results[0][i] - results[1][i]; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("plans disagree at %d: %g vs %g", i, results[0][i], results[1][i])
+		}
+	}
+}
+
+func TestRegionPlanChoices(t *testing.T) {
+	rel, pts := buildRelation(t, 40000, 22, 128)
+	q := pts[123]
+
+	// Tiny region around the query: range-first should win (few blocks).
+	tiny := geom.NewRect(q.X-0.5, q.Y-0.5, q.X+0.5, q.Y+0.5)
+	d, err := PlanKNNSelectInRegion(rel, q, 5, tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(d.Chosen.Description, "range-first") {
+		t.Errorf("tiny region should choose range-first:\n%s", d.Explain())
+	}
+
+	// Huge region (the whole world): browsing should win.
+	d, err = PlanKNNSelectInRegion(rel, q, 5, datagen.WorldBounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(d.Chosen.Description, "distance-browse") {
+		t.Errorf("whole-world region should choose browsing:\n%s", d.Explain())
+	}
+	// The choice must be genuinely cheaper when executed.
+	var costs []int
+	for _, plan := range d.Alternatives {
+		exec, err := ExecuteSelect(&Decision{Chosen: plan, Alternatives: d.Alternatives})
+		if err != nil {
+			t.Fatal(err)
+		}
+		costs = append(costs, exec.BlocksScanned)
+	}
+	if costs[0] > costs[1] {
+		t.Errorf("planner chose the worse plan: actual costs %v\n%s", costs, d.Explain())
+	}
+}
+
+func TestRegionDisjointFromData(t *testing.T) {
+	rel, pts := buildRelation(t, 5000, 23, 128)
+	// Region outside the world: range plan returns nothing; selectivity 0
+	// means no browse plan is offered.
+	region := geom.NewRect(500, 500, 600, 600)
+	d, err := PlanKNNSelectInRegion(rel, pts[0], 5, region)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exec, err := ExecuteSelect(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exec.Neighbors) != 0 {
+		t.Errorf("disjoint region returned %d neighbors", len(exec.Neighbors))
+	}
+}

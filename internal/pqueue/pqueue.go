@@ -1,0 +1,122 @@
+// Package pqueue provides a generic binary min-heap keyed by float64
+// priority. It backs every best-first structure in knncost: the tuples-queue
+// and blocks-queue of distance browsing, the MINDIST scans of the locality
+// and catalog builders, and the plane-sweep merge of temporary catalogs.
+//
+// The zero value of Queue is an empty queue ready for use. Ties are broken
+// by insertion order (FIFO), which keeps scans deterministic.
+package pqueue
+
+// Queue is a min-heap of values of type T ordered by ascending float64
+// priority. It is not safe for concurrent use.
+type Queue[T any] struct {
+	items []item[T]
+	seq   uint64
+}
+
+type item[T any] struct {
+	value T
+	prio  float64
+	seq   uint64 // tie-break: earlier pushes pop first
+}
+
+// Len returns the number of queued items.
+func (q *Queue[T]) Len() int { return len(q.items) }
+
+// Push inserts value with the given priority.
+func (q *Queue[T]) Push(value T, priority float64) {
+	q.items = append(q.items, item[T]{value: value, prio: priority, seq: q.seq})
+	q.seq++
+	q.up(len(q.items) - 1)
+}
+
+// Pop removes and returns the item with the smallest priority. The boolean
+// is false when the queue is empty.
+func (q *Queue[T]) Pop() (T, bool) {
+	var zero T
+	if len(q.items) == 0 {
+		return zero, false
+	}
+	top := q.items[0].value
+	last := len(q.items) - 1
+	q.items[0] = q.items[last]
+	q.items[last] = item[T]{} // release for GC
+	q.items = q.items[:last]
+	if len(q.items) > 0 {
+		q.down(0)
+	}
+	return top, true
+}
+
+// Peek returns the item with the smallest priority without removing it. The
+// boolean is false when the queue is empty.
+func (q *Queue[T]) Peek() (T, bool) {
+	var zero T
+	if len(q.items) == 0 {
+		return zero, false
+	}
+	return q.items[0].value, true
+}
+
+// PeekPriority returns the smallest priority in the queue. The boolean is
+// false when the queue is empty.
+func (q *Queue[T]) PeekPriority() (float64, bool) {
+	if len(q.items) == 0 {
+		return 0, false
+	}
+	return q.items[0].prio, true
+}
+
+// Reset empties the queue, retaining the allocated capacity for reuse.
+func (q *Queue[T]) Reset() {
+	clear(q.items)
+	q.items = q.items[:0]
+	q.seq = 0
+}
+
+// Grow reserves capacity for at least n additional items.
+func (q *Queue[T]) Grow(n int) {
+	if need := len(q.items) + n; need > cap(q.items) {
+		grown := make([]item[T], len(q.items), need)
+		copy(grown, q.items)
+		q.items = grown
+	}
+}
+
+func (q *Queue[T]) less(i, j int) bool {
+	a, b := q.items[i], q.items[j]
+	if a.prio != b.prio {
+		return a.prio < b.prio
+	}
+	return a.seq < b.seq
+}
+
+func (q *Queue[T]) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q.items[i], q.items[parent] = q.items[parent], q.items[i]
+		i = parent
+	}
+}
+
+func (q *Queue[T]) down(i int) {
+	n := len(q.items)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		smallest := left
+		if right := left + 1; right < n && q.less(right, left) {
+			smallest = right
+		}
+		if !q.less(smallest, i) {
+			return
+		}
+		q.items[i], q.items[smallest] = q.items[smallest], q.items[i]
+		i = smallest
+	}
+}

@@ -1,0 +1,169 @@
+package pqueue
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyQueue(t *testing.T) {
+	var q Queue[int]
+	if q.Len() != 0 {
+		t.Fatalf("zero queue Len = %d, want 0", q.Len())
+	}
+	if _, ok := q.Pop(); ok {
+		t.Error("Pop on empty queue should report false")
+	}
+	if _, ok := q.Peek(); ok {
+		t.Error("Peek on empty queue should report false")
+	}
+	if _, ok := q.PeekPriority(); ok {
+		t.Error("PeekPriority on empty queue should report false")
+	}
+}
+
+func TestPushPopOrder(t *testing.T) {
+	var q Queue[string]
+	q.Push("c", 3)
+	q.Push("a", 1)
+	q.Push("d", 4)
+	q.Push("b", 2)
+	want := []string{"a", "b", "c", "d"}
+	for i, w := range want {
+		v, ok := q.Pop()
+		if !ok || v != w {
+			t.Fatalf("pop %d = %q (%v), want %q", i, v, ok, w)
+		}
+	}
+	if q.Len() != 0 {
+		t.Fatalf("queue should be empty, Len = %d", q.Len())
+	}
+}
+
+func TestPeek(t *testing.T) {
+	var q Queue[int]
+	q.Push(10, 5)
+	q.Push(20, 2)
+	v, ok := q.Peek()
+	if !ok || v != 20 {
+		t.Fatalf("Peek = %d, want 20", v)
+	}
+	p, ok := q.PeekPriority()
+	if !ok || p != 2 {
+		t.Fatalf("PeekPriority = %g, want 2", p)
+	}
+	if q.Len() != 2 {
+		t.Fatalf("Peek must not remove items")
+	}
+}
+
+func TestFIFOTieBreak(t *testing.T) {
+	var q Queue[int]
+	for i := 0; i < 10; i++ {
+		q.Push(i, 1.0)
+	}
+	for i := 0; i < 10; i++ {
+		v, _ := q.Pop()
+		if v != i {
+			t.Fatalf("equal-priority pop %d = %d, want insertion order", i, v)
+		}
+	}
+}
+
+func TestReset(t *testing.T) {
+	var q Queue[int]
+	q.Push(1, 1)
+	q.Push(2, 2)
+	q.Reset()
+	if q.Len() != 0 {
+		t.Fatalf("Reset should empty the queue")
+	}
+	q.Push(7, 7)
+	if v, _ := q.Pop(); v != 7 {
+		t.Fatalf("queue must be reusable after Reset")
+	}
+}
+
+func TestGrow(t *testing.T) {
+	var q Queue[int]
+	q.Grow(100)
+	for i := 0; i < 100; i++ {
+		q.Push(i, float64(i))
+	}
+	if q.Len() != 100 {
+		t.Fatalf("Len = %d, want 100", q.Len())
+	}
+}
+
+// Property: popping everything yields priorities in non-decreasing order,
+// and returns exactly the multiset that was pushed.
+func TestHeapProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	f := func(seed int64) bool {
+		local := rand.New(rand.NewSource(seed))
+		n := local.Intn(200)
+		var q Queue[float64]
+		pushed := make([]float64, 0, n)
+		for i := 0; i < n; i++ {
+			p := local.NormFloat64()
+			q.Push(p, p)
+			pushed = append(pushed, p)
+		}
+		popped := make([]float64, 0, n)
+		for q.Len() > 0 {
+			v, _ := q.Pop()
+			popped = append(popped, v)
+		}
+		if len(popped) != n {
+			return false
+		}
+		sort.Float64s(pushed)
+		for i := range pushed {
+			if pushed[i] != popped[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: interleaved pushes and pops still pop the global minimum of the
+// current contents.
+func TestInterleavedProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	f := func(seed int64) bool {
+		local := rand.New(rand.NewSource(seed))
+		var q Queue[float64]
+		var mirror []float64
+		for op := 0; op < 300; op++ {
+			if len(mirror) == 0 || local.Intn(3) > 0 {
+				p := local.Float64() * 100
+				q.Push(p, p)
+				mirror = append(mirror, p)
+			} else {
+				v, ok := q.Pop()
+				if !ok {
+					return false
+				}
+				minIdx := 0
+				for i, m := range mirror {
+					if m < mirror[minIdx] {
+						minIdx = i
+					}
+				}
+				if v != mirror[minIdx] {
+					return false
+				}
+				mirror = append(mirror[:minIdx], mirror[minIdx+1:]...)
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}

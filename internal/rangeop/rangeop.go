@@ -1,0 +1,94 @@
+// Package rangeop implements the spatial range (window) operator and its
+// cost/selectivity estimation. The paper uses range operators as the
+// contrast class: their cost "is relatively easy to estimate because the
+// spatial region of the operator is predefined and fixed in the query"
+// (§1) — this package makes that concrete, and the planner combines it
+// with the k-NN estimators to order range and k-NN predicates in a QEP
+// (the "restaurants within a downtown district" example of §1).
+package rangeop
+
+import (
+	"knncost/internal/geom"
+	"knncost/internal/index"
+)
+
+// Select returns the points of tree inside r (boundary inclusive) and the
+// number of blocks scanned — every leaf whose bounds intersect r.
+func Select(tree *index.Tree, r geom.Rect) ([]geom.Point, int) {
+	var out []geom.Point
+	blocks := 0
+	tree.VisitRange(r, func(b *index.Block) {
+		blocks++
+		for _, p := range b.Points {
+			if r.Contains(p) {
+				out = append(out, p)
+			}
+		}
+	})
+	return out, blocks
+}
+
+// Cost returns the exact block-scan cost of a range select: the number of
+// blocks intersecting r. Computable from the Count-Index alone, which is
+// why range costs need no catalogs.
+func Cost(count *index.Tree, r geom.Rect) int {
+	blocks := 0
+	count.VisitRange(r, func(*index.Block) { blocks++ })
+	return blocks
+}
+
+// Selectivity estimates the fraction of the relation's points inside r
+// under the per-block uniformity assumption (each block's points spread
+// evenly over its bounds — the same assumption the density-based k-NN
+// estimator makes). The result is in [0, 1]; it is 0 for an empty
+// relation.
+func Selectivity(count *index.Tree, r geom.Rect) float64 {
+	total := count.NumPoints()
+	if total == 0 {
+		return 0
+	}
+	expected := 0.0
+	count.VisitRange(r, func(b *index.Block) {
+		if b.Count == 0 {
+			return
+		}
+		area := b.Bounds.Area()
+		if area == 0 {
+			// A degenerate block lies entirely on the boundary of r
+			// or inside it; VisitRange guarantees intersection.
+			expected += float64(b.Count)
+			return
+		}
+		expected += float64(b.Count) * overlapArea(b.Bounds, r) / area
+	})
+	sel := expected / float64(total)
+	if sel > 1 {
+		sel = 1
+	}
+	return sel
+}
+
+// overlapArea returns the area of the intersection of a and b, zero when
+// they do not overlap.
+func overlapArea(a, b geom.Rect) float64 {
+	w := minF(a.Max.X, b.Max.X) - maxF(a.Min.X, b.Min.X)
+	h := minF(a.Max.Y, b.Max.Y) - maxF(a.Min.Y, b.Min.Y)
+	if w <= 0 || h <= 0 {
+		return 0
+	}
+	return w * h
+}
+
+func minF(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxF(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

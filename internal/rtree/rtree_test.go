@@ -1,0 +1,223 @@
+package rtree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"knncost/internal/geom"
+)
+
+func randPoints(rng *rand.Rand, n int) []geom.Point {
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Point{X: rng.Float64() * 1000, Y: rng.Float64() * 1000}
+	}
+	return pts
+}
+
+// collectPoints gathers all points stored in the tree's blocks, sorted.
+func collectPoints(t *Tree) []geom.Point {
+	var out []geom.Point
+	for _, b := range t.Index().Blocks() {
+		out = append(out, b.Points...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].X != out[j].X {
+			return out[i].X < out[j].X
+		}
+		return out[i].Y < out[j].Y
+	})
+	return out
+}
+
+func samePoints(a, b []geom.Point) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestSTRBuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	pts := randPoints(rng, 5000)
+	tr, err := Build(pts, Options{LeafCapacity: 100, Fanout: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 5000 {
+		t.Fatalf("Len = %d, want 5000", tr.Len())
+	}
+	ix := tr.Index()
+	if err := ix.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if ix.Partitioning() {
+		t.Error("R-tree index must not claim space partitioning")
+	}
+	for _, b := range ix.Blocks() {
+		if b.Count > 100 {
+			t.Errorf("leaf holds %d points, capacity 100", b.Count)
+		}
+	}
+	// STR should produce close to n/capacity leaves.
+	if got := ix.NumBlocks(); got < 50 || got > 80 {
+		t.Errorf("NumBlocks = %d, want ~50-80 for 5000 points at capacity 100", got)
+	}
+	sorted := make([]geom.Point, len(pts))
+	copy(sorted, pts)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].X != sorted[j].X {
+			return sorted[i].X < sorted[j].X
+		}
+		return sorted[i].Y < sorted[j].Y
+	})
+	if !samePoints(collectPoints(tr), sorted) {
+		t.Error("tree does not store exactly the input points")
+	}
+}
+
+func TestBuildEmpty(t *testing.T) {
+	tr, err := Build(nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 0 || tr.Index().NumBlocks() != 1 {
+		t.Fatalf("empty tree: Len=%d blocks=%d", tr.Len(), tr.Index().NumBlocks())
+	}
+}
+
+func TestBadOptions(t *testing.T) {
+	if _, err := Build(nil, Options{LeafCapacity: -1}); err == nil {
+		t.Error("negative capacity should be rejected")
+	}
+	if _, err := Build(nil, Options{Fanout: 1}); err == nil {
+		t.Error("fanout 1 should be rejected")
+	}
+}
+
+func TestDynamicInsert(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	pts := randPoints(rng, 2000)
+	tr, err := Build(nil, Options{LeafCapacity: 32, Fanout: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pts {
+		tr.Insert(p)
+	}
+	if tr.Len() != 2000 {
+		t.Fatalf("Len = %d, want 2000", tr.Len())
+	}
+	ix := tr.Index()
+	if err := ix.Validate(); err != nil {
+		t.Fatalf("Validate after inserts: %v", err)
+	}
+	for _, b := range ix.Blocks() {
+		if b.Count > 32 {
+			t.Errorf("leaf exceeds capacity after split: %d", b.Count)
+		}
+	}
+	sorted := make([]geom.Point, len(pts))
+	copy(sorted, pts)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].X != sorted[j].X {
+			return sorted[i].X < sorted[j].X
+		}
+		return sorted[i].Y < sorted[j].Y
+	})
+	if !samePoints(collectPoints(tr), sorted) {
+		t.Error("dynamic tree does not store exactly the inserted points")
+	}
+}
+
+func TestInsertIntoBulkLoaded(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	pts := randPoints(rng, 1000)
+	tr, err := Build(pts[:500], Options{LeafCapacity: 32, Fanout: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pts[500:] {
+		tr.Insert(p)
+	}
+	ix := tr.Index()
+	if err := ix.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if ix.NumPoints() != 1000 {
+		t.Fatalf("NumPoints = %d, want 1000", ix.NumPoints())
+	}
+}
+
+// Property: leaf MBRs contain exactly their points and internal bounds
+// contain all descendants (Validate), for any mix of bulk load and inserts.
+func TestInvariantsProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	f := func(seed int64) bool {
+		local := rand.New(rand.NewSource(seed))
+		n := 10 + local.Intn(800)
+		pts := randPoints(local, n)
+		cut := local.Intn(n)
+		tr, err := Build(pts[:cut], Options{LeafCapacity: 16, Fanout: 4})
+		if err != nil {
+			return false
+		}
+		for _, p := range pts[cut:] {
+			tr.Insert(p)
+		}
+		ix := tr.Index()
+		if ix.Validate() != nil || ix.NumPoints() != n {
+			return false
+		}
+		for _, b := range ix.Blocks() {
+			if b.Count > 16 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a MINDIST scan over the R-tree index yields all blocks in
+// non-decreasing distance order (blocks may overlap, the scan must still be
+// monotone).
+func TestScanOrderProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	f := func(seed int64) bool {
+		local := rand.New(rand.NewSource(seed))
+		pts := randPoints(local, 500)
+		tr, err := Build(pts, Options{LeafCapacity: 25, Fanout: 5})
+		if err != nil {
+			return false
+		}
+		ix := tr.Index()
+		q := geom.Point{X: local.Float64() * 1000, Y: local.Float64() * 1000}
+		scan := ix.ScanMinDist(q)
+		last, count := -1.0, 0
+		for {
+			_, d, ok := scan.Next()
+			if !ok {
+				break
+			}
+			if d < last-1e-12 {
+				return false
+			}
+			last = d
+			count++
+		}
+		return count == ix.NumBlocks()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}

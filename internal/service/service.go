@@ -1,0 +1,368 @@
+// Package service exposes the cost estimators over HTTP as a small JSON
+// microservice — the deployment shape the paper motivates: "location-based
+// services that serve multiple queries at very high rates, e.g., thousands
+// of queries per second", where estimation must cost microseconds.
+//
+// A Server is configured with named relations at startup; it prebuilds
+// every catalog (staircase per relation, Catalog-Merge per ordered pair,
+// Virtual-Grid per relation) and then answers estimate requests from
+// memory.
+//
+// Endpoints (all GET, all JSON):
+//
+//	/healthz                          liveness
+//	/relations                        registered relations + catalog sizes
+//	/estimate/select?rel=R&x=&y=&k=&method=staircase|density
+//	/estimate/join?outer=R&inner=S&k=&method=catalogmerge|virtualgrid|blocksample
+//	/cost/select?rel=R&x=&y=&k=       actual cost (executes distance browsing)
+//	/cost/join?outer=R&inner=S&k=     actual cost (computes localities)
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"time"
+
+	"knncost/internal/core"
+	"knncost/internal/geom"
+	"knncost/internal/index"
+	"knncost/internal/knn"
+	"knncost/internal/knnjoin"
+)
+
+// Options configure catalog construction at server start.
+type Options struct {
+	// MaxK is the largest catalog-maintained k. Zero means the core
+	// default.
+	MaxK int
+	// SampleSize is the Catalog-Merge sample size. Zero means 200.
+	SampleSize int
+	// GridSize is the Virtual-Grid dimension. Zero means 10.
+	GridSize int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxK == 0 {
+		o.MaxK = core.DefaultMaxK
+	}
+	if o.SampleSize == 0 {
+		o.SampleSize = 200
+	}
+	if o.GridSize == 0 {
+		o.GridSize = 10
+	}
+	return o
+}
+
+type relation struct {
+	name      string
+	tree      *index.Tree
+	count     *index.Tree
+	staircase *core.Staircase
+	density   *core.DensityBased
+	vgrid     *core.VirtualGrid
+}
+
+// Server answers estimation requests for a fixed schema of relations.
+type Server struct {
+	opt       Options
+	relations map[string]*relation
+	names     []string
+	merges    map[[2]string]*core.CatalogMerge
+	mux       *http.ServeMux
+}
+
+// New creates a server over the given relations (name → data index). It
+// prebuilds all catalogs, so construction time is the preprocessing cost
+// of the whole schema.
+func New(trees map[string]*index.Tree, opt Options) (*Server, error) {
+	opt = opt.withDefaults()
+	s := &Server{
+		opt:       opt,
+		relations: make(map[string]*relation, len(trees)),
+		merges:    map[[2]string]*core.CatalogMerge{},
+		mux:       http.NewServeMux(),
+	}
+	for name, tree := range trees {
+		if tree.NumBlocks() == 0 {
+			return nil, fmt.Errorf("service: relation %q has no blocks", name)
+		}
+		stair, err := core.BuildStaircase(tree, core.StaircaseOptions{MaxK: opt.MaxK})
+		if err != nil {
+			return nil, fmt.Errorf("service: staircase for %q: %w", name, err)
+		}
+		count := tree.CountTree()
+		vg, err := core.BuildVirtualGrid(count, opt.GridSize, opt.GridSize, opt.MaxK)
+		if err != nil {
+			return nil, fmt.Errorf("service: virtual grid for %q: %w", name, err)
+		}
+		s.relations[name] = &relation{
+			name:      name,
+			tree:      tree,
+			count:     count,
+			staircase: stair,
+			density:   core.NewDensityBased(count),
+			vgrid:     vg,
+		}
+		s.names = append(s.names, name)
+	}
+	sort.Strings(s.names)
+	// One Catalog-Merge per ordered pair — the quadratic schema cost §4.2
+	// describes.
+	for _, outer := range s.names {
+		for _, inner := range s.names {
+			if outer == inner {
+				continue
+			}
+			cm, err := core.BuildCatalogMerge(
+				s.relations[outer].count, s.relations[inner].count,
+				opt.SampleSize, opt.MaxK)
+			if err != nil {
+				return nil, fmt.Errorf("service: catalog-merge %s⋉%s: %w", outer, inner, err)
+			}
+			s.merges[[2]string{outer, inner}] = cm
+		}
+	}
+	s.routes()
+	return s, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /relations", s.handleRelations)
+	s.mux.HandleFunc("GET /estimate/select", s.handleEstimateSelect)
+	s.mux.HandleFunc("GET /estimate/join", s.handleEstimateJoin)
+	s.mux.HandleFunc("GET /cost/select", s.handleCostSelect)
+	s.mux.HandleFunc("GET /cost/join", s.handleCostJoin)
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	// Encoding of the small response structs below cannot fail.
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func badRequest(w http.ResponseWriter, format string, args ...any) {
+	writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// RelationInfo describes one registered relation.
+type RelationInfo struct {
+	Name             string `json:"name"`
+	NumPoints        int    `json:"num_points"`
+	NumBlocks        int    `json:"num_blocks"`
+	StaircaseBytes   int    `json:"staircase_bytes"`
+	VirtualGridBytes int    `json:"virtual_grid_bytes"`
+}
+
+func (s *Server) handleRelations(w http.ResponseWriter, _ *http.Request) {
+	out := make([]RelationInfo, 0, len(s.names))
+	for _, name := range s.names {
+		rel := s.relations[name]
+		out = append(out, RelationInfo{
+			Name:             name,
+			NumPoints:        rel.tree.NumPoints(),
+			NumBlocks:        rel.tree.NumBlocks(),
+			StaircaseBytes:   rel.staircase.StorageBytes(),
+			VirtualGridBytes: rel.vgrid.StorageBytes(),
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// EstimateResponse is the reply to estimate and cost endpoints.
+type EstimateResponse struct {
+	Relation string  `json:"relation,omitempty"`
+	Outer    string  `json:"outer,omitempty"`
+	Inner    string  `json:"inner,omitempty"`
+	K        int     `json:"k"`
+	Method   string  `json:"method"`
+	Blocks   float64 `json:"blocks"`
+	TookNs   int64   `json:"took_ns"`
+}
+
+func (s *Server) relationParam(w http.ResponseWriter, r *http.Request, param string) (*relation, bool) {
+	name := r.URL.Query().Get(param)
+	rel, ok := s.relations[name]
+	if !ok {
+		badRequest(w, "unknown relation %q (have %v)", name, s.names)
+		return nil, false
+	}
+	return rel, true
+}
+
+func queryFloat(r *http.Request, name string) (float64, error) {
+	v, err := strconv.ParseFloat(r.URL.Query().Get(name), 64)
+	if err != nil {
+		return 0, fmt.Errorf("parameter %q: %w", name, err)
+	}
+	return v, nil
+}
+
+func queryK(r *http.Request) (int, error) {
+	k, err := strconv.Atoi(r.URL.Query().Get("k"))
+	if err != nil {
+		return 0, fmt.Errorf("parameter \"k\": %w", err)
+	}
+	if k < 1 {
+		return 0, fmt.Errorf("k must be >= 1, got %d", k)
+	}
+	return k, nil
+}
+
+func (s *Server) handleEstimateSelect(w http.ResponseWriter, r *http.Request) {
+	rel, ok := s.relationParam(w, r, "rel")
+	if !ok {
+		return
+	}
+	x, err := queryFloat(r, "x")
+	if err != nil {
+		badRequest(w, "%v", err)
+		return
+	}
+	y, err := queryFloat(r, "y")
+	if err != nil {
+		badRequest(w, "%v", err)
+		return
+	}
+	k, err := queryK(r)
+	if err != nil {
+		badRequest(w, "%v", err)
+		return
+	}
+	method := r.URL.Query().Get("method")
+	if method == "" {
+		method = "staircase"
+	}
+	var est core.SelectEstimator
+	switch method {
+	case "staircase":
+		est = rel.staircase
+	case "density":
+		est = rel.density
+	default:
+		badRequest(w, "unknown select method %q (want staircase or density)", method)
+		return
+	}
+	start := time.Now()
+	blocks, err := est.EstimateSelect(geom.Point{X: x, Y: y}, k)
+	if err != nil {
+		badRequest(w, "estimate failed: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, EstimateResponse{
+		Relation: rel.name, K: k, Method: method,
+		Blocks: blocks, TookNs: time.Since(start).Nanoseconds(),
+	})
+}
+
+func (s *Server) handleEstimateJoin(w http.ResponseWriter, r *http.Request) {
+	outer, ok := s.relationParam(w, r, "outer")
+	if !ok {
+		return
+	}
+	inner, ok := s.relationParam(w, r, "inner")
+	if !ok {
+		return
+	}
+	if outer == inner {
+		badRequest(w, "outer and inner must differ")
+		return
+	}
+	k, err := queryK(r)
+	if err != nil {
+		badRequest(w, "%v", err)
+		return
+	}
+	method := r.URL.Query().Get("method")
+	if method == "" {
+		method = "catalogmerge"
+	}
+	var est core.JoinEstimator
+	switch method {
+	case "catalogmerge":
+		est = s.merges[[2]string{outer.name, inner.name}]
+	case "virtualgrid":
+		est = inner.vgrid.Bind(outer.count)
+	case "blocksample":
+		est = core.NewBlockSample(outer.count, inner.count, s.opt.SampleSize)
+	default:
+		badRequest(w, "unknown join method %q (want catalogmerge, virtualgrid or blocksample)", method)
+		return
+	}
+	start := time.Now()
+	blocks, err := est.EstimateJoin(k)
+	if err != nil {
+		badRequest(w, "estimate failed: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, EstimateResponse{
+		Outer: outer.name, Inner: inner.name, K: k, Method: method,
+		Blocks: blocks, TookNs: time.Since(start).Nanoseconds(),
+	})
+}
+
+func (s *Server) handleCostSelect(w http.ResponseWriter, r *http.Request) {
+	rel, ok := s.relationParam(w, r, "rel")
+	if !ok {
+		return
+	}
+	x, err := queryFloat(r, "x")
+	if err != nil {
+		badRequest(w, "%v", err)
+		return
+	}
+	y, err := queryFloat(r, "y")
+	if err != nil {
+		badRequest(w, "%v", err)
+		return
+	}
+	k, err := queryK(r)
+	if err != nil {
+		badRequest(w, "%v", err)
+		return
+	}
+	start := time.Now()
+	cost := knn.SelectCost(rel.tree, geom.Point{X: x, Y: y}, k)
+	writeJSON(w, http.StatusOK, EstimateResponse{
+		Relation: rel.name, K: k, Method: "actual",
+		Blocks: float64(cost), TookNs: time.Since(start).Nanoseconds(),
+	})
+}
+
+func (s *Server) handleCostJoin(w http.ResponseWriter, r *http.Request) {
+	outer, ok := s.relationParam(w, r, "outer")
+	if !ok {
+		return
+	}
+	inner, ok := s.relationParam(w, r, "inner")
+	if !ok {
+		return
+	}
+	k, err := queryK(r)
+	if err != nil {
+		badRequest(w, "%v", err)
+		return
+	}
+	start := time.Now()
+	cost := knnjoin.Cost(outer.count, inner.count, k)
+	writeJSON(w, http.StatusOK, EstimateResponse{
+		Outer: outer.name, Inner: inner.name, K: k, Method: "actual",
+		Blocks: float64(cost), TookNs: time.Since(start).Nanoseconds(),
+	})
+}

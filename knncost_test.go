@@ -1,0 +1,179 @@
+package knncost_test
+
+import (
+	"math"
+	"testing"
+
+	"knncost"
+)
+
+func TestFacadeEndToEndSelect(t *testing.T) {
+	pts := knncost.GenerateOSMLike(20000, 1)
+	ix := knncost.BuildQuadtreeIndex(pts, knncost.IndexOptions{Capacity: 128})
+	if ix.NumPoints() != 20000 {
+		t.Fatalf("NumPoints = %d", ix.NumPoints())
+	}
+	q := pts[123]
+	neighbors, stats := ix.SelectKNNStats(q, 10)
+	if len(neighbors) != 10 {
+		t.Fatalf("got %d neighbors", len(neighbors))
+	}
+	if neighbors[0].Dist != 0 {
+		t.Errorf("query point is in the dataset; nearest distance should be 0, got %g", neighbors[0].Dist)
+	}
+	for i := 1; i < len(neighbors); i++ {
+		if neighbors[i].Dist < neighbors[i-1].Dist {
+			t.Fatal("neighbors not sorted by distance")
+		}
+	}
+	if stats.BlocksScanned < 1 {
+		t.Error("select must scan at least one block")
+	}
+	if got := ix.SelectKNNCost(q, 10); got != stats.BlocksScanned {
+		t.Errorf("SelectKNNCost %d != stats %d", got, stats.BlocksScanned)
+	}
+}
+
+func TestFacadeBrowser(t *testing.T) {
+	pts := knncost.GenerateUniform(1000, 2, knncost.NewRect(0, 0, 10, 10))
+	ix := knncost.BuildQuadtreeIndex(pts, knncost.IndexOptions{Capacity: 32})
+	b := ix.Browse(knncost.Point{X: 5, Y: 5})
+	last := -1.0
+	for i := 0; i < 50; i++ {
+		n, ok := b.Next()
+		if !ok {
+			t.Fatal("browser exhausted early")
+		}
+		if n.Dist < last {
+			t.Fatal("browser distances not monotone")
+		}
+		last = n.Dist
+	}
+}
+
+func TestFacadeEstimators(t *testing.T) {
+	pts := knncost.GenerateOSMLike(30000, 3)
+	// Capacity 64 keeps typical costs above a handful of blocks at the
+	// tested k range, where the error ratio is meaningful.
+	ix := knncost.BuildQuadtreeIndex(pts, knncost.IndexOptions{Capacity: 64})
+
+	stair, err := knncost.NewStaircaseEstimator(ix, knncost.StaircaseOptions{MaxK: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	density := knncost.NewDensityEstimator(ix)
+
+	// Keep k large enough that actual costs exceed a handful of blocks:
+	// at 1-2 block costs a ±1 block absolute error dominates the ratio
+	// (see EXPERIMENTS.md).
+	var stairErr, densErr float64
+	n := 50
+	for i := 0; i < n; i++ {
+		q := pts[i*37]
+		k := 100 + (i*13)%100
+		actual := float64(ix.SelectKNNCost(q, k))
+		se, err := stair.EstimateSelect(q, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		de, err := density.EstimateSelect(q, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if actual > 0 {
+			stairErr += math.Abs(se-actual) / actual
+			densErr += math.Abs(de-actual) / actual
+		}
+	}
+	t.Logf("avg error: staircase %.3f, density %.3f", stairErr/float64(n), densErr/float64(n))
+	if stairErr/float64(n) > 0.5 {
+		t.Errorf("staircase average error %.3f too high", stairErr/float64(n))
+	}
+}
+
+func TestFacadeJoin(t *testing.T) {
+	hotels := knncost.BuildQuadtreeIndex(
+		knncost.GenerateOSMLike(5000, 4), knncost.IndexOptions{Capacity: 128})
+	restaurants := knncost.BuildQuadtreeIndex(
+		knncost.GenerateOSMLike(8000, 5), knncost.IndexOptions{Capacity: 128})
+
+	k := 3
+	actual := float64(knncost.JoinKNNCost(hotels, restaurants, k))
+	if actual <= 0 {
+		t.Fatal("join cost must be positive")
+	}
+
+	pairs := 0
+	stats := knncost.JoinKNN(hotels, restaurants, k, func(knncost.JoinPair) { pairs++ })
+	if pairs != hotels.NumPoints()*k {
+		t.Errorf("join emitted %d pairs, want %d", pairs, hotels.NumPoints()*k)
+	}
+	if float64(stats.BlocksScanned) != actual {
+		t.Errorf("join stats %d != predicted ground truth %g", stats.BlocksScanned, actual)
+	}
+
+	bs := knncost.NewBlockSampleEstimator(hotels, restaurants, 0)
+	est, err := bs.EstimateJoin(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est != actual {
+		t.Errorf("full block-sample estimate %g != actual %g", est, actual)
+	}
+
+	cm, err := knncost.NewCatalogMergeEstimator(hotels, restaurants, 0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err = cm.EstimateJoin(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est != actual {
+		t.Errorf("full catalog-merge estimate %g != actual %g", est, actual)
+	}
+
+	vg, err := knncost.NewVirtualGridEstimator(restaurants, 8, 8, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err = vg.EstimateJoin(hotels, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := math.Abs(est-actual) / actual; r > 0.6 {
+		t.Errorf("virtual-grid error ratio %.3f too high (est %g, actual %g)", r, est, actual)
+	}
+	bound := vg.Bind(hotels)
+	b, err := bound.EstimateJoin(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b != est {
+		t.Errorf("bound estimate %g != direct %g", b, est)
+	}
+}
+
+func TestFacadeRTreeAndGrid(t *testing.T) {
+	pts := knncost.GenerateOSMLike(5000, 6)
+	rt, err := knncost.BuildRTreeIndex(pts, knncost.IndexOptions{Capacity: 128, Fanout: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := knncost.BuildGridIndex(pts, 12, 12, knncost.WorldBounds())
+	q := pts[42]
+	a := rt.SelectKNN(q, 5)
+	b := g.SelectKNN(q, 5)
+	if len(a) != 5 || len(b) != 5 {
+		t.Fatalf("R-tree returned %d, grid %d", len(a), len(b))
+	}
+	for i := range a {
+		if diff := a[i].Dist - b[i].Dist; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("neighbor %d: R-tree dist %g, grid dist %g", i, a[i].Dist, b[i].Dist)
+		}
+	}
+	// Staircase over an R-tree builds an auxiliary quadtree transparently.
+	if _, err := knncost.NewStaircaseEstimator(rt, knncost.StaircaseOptions{MaxK: 50}); err != nil {
+		t.Fatalf("staircase over R-tree: %v", err)
+	}
+}

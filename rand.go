@@ -1,0 +1,6 @@
+package knncost
+
+import "math/rand"
+
+// newRand returns a deterministic source for the generator helpers.
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
