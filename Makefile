@@ -1,0 +1,39 @@
+GO ?= go
+
+.PHONY: all build test check vet race bench-smoke bench perf
+
+all: check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# Race-test the packages with concurrent hot paths: the staircase build
+# fan-out, the batch estimation workers, and the HTTP batch endpoint.
+race:
+	$(GO) test -race ./internal/core/... ./internal/service/...
+
+# One iteration of every benchmark: catches benchmarks that panic or
+# regress to building their fixture per op, without the full measurement
+# cost.
+bench-smoke:
+	$(GO) test -run xxx -bench . -benchtime 1x ./...
+
+# The gate run by scripts/check.sh and documented in README.md.
+check: vet
+	$(GO) test ./...
+	$(GO) test -race ./internal/core/... ./internal/service/...
+	$(GO) test -run xxx -bench 'BenchmarkEstimateSelectHot|BenchmarkStaircaseBuildAlloc|BenchmarkFig13SelectPreprocessCC' -benchtime 1x .
+
+# Full measured benchmark sweep (slow).
+bench:
+	$(GO) test -bench . -benchmem .
+
+# Machine-readable hot-path numbers: writes BENCH_<date>.json to results/.
+perf:
+	$(GO) run ./cmd/knnbench -perf -out results

@@ -244,6 +244,66 @@ func itoa(v int) string {
 	return string(buf[i:])
 }
 
+// --- Hot paths: the perf-critical operations pinned by this package ---
+
+// BenchmarkEstimateSelectHot measures the steady-state catalog path: flat-grid
+// point location plus two closure-free binary searches. It must report
+// 0 allocs/op — TestEstimateSelectZeroAlloc in internal/core enforces the
+// same bound as a hard failure.
+func BenchmarkEstimateSelectHot(b *testing.B) {
+	f := getFixture(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.cc.EstimateSelect(f.queries[i%len(f.queries)], 64); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStaircaseBuildAlloc tracks the allocation cost of building the
+// center+corners staircase; the pooled browser/scratch-catalog path keeps
+// allocs/op to retained catalog data only.
+func BenchmarkStaircaseBuildAlloc(b *testing.B) {
+	pts := knncost.GenerateOSMLike(20_000, 4)
+	ix := knncost.BuildQuadtreeIndex(pts, knncost.IndexOptions{Capacity: 256})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := knncost.NewStaircaseEstimator(ix, knncost.StaircaseOptions{
+			MaxK: 200, Mode: knncost.ModeCenterCorners}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEstimateSelectBatch measures the batched entry point at a few
+// worker counts over the shared 512-query workload.
+func BenchmarkEstimateSelectBatch(b *testing.B) {
+	f := getFixture(b)
+	queries := make([]knncost.SelectQuery, len(f.queries))
+	for i, q := range f.queries {
+		queries[i] = knncost.SelectQuery{Point: q, K: 1 + i%benchMaxK}
+	}
+	for _, par := range []int{1, 4, 0} {
+		name := "p=" + itoa(par)
+		if par == 0 {
+			name = "p=max"
+		}
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				results := f.cc.EstimateSelectBatch(queries, par)
+				for j := range results {
+					if results[j].Err != nil {
+						b.Fatal(results[j].Err)
+					}
+				}
+			}
+		})
+	}
+}
+
 // --- Figure 13: staircase preprocessing time ---
 
 func BenchmarkFig13SelectPreprocessCC(b *testing.B) {

@@ -7,6 +7,8 @@
 //	knnbench -fig fig11,fig12 -out results/
 //	knnbench -fig fig20 -quick            # smoke-test sizes
 //	knnbench -fig fig11 -points 100000 -scales 10 -capacity 512 -maxk 2000
+//	knnbench -perf -out results/          # hot-path microbenchmarks to
+//	                                      # results/BENCH_<date>.json
 //
 // Each figure prints an aligned table (and, with -out, a CSV per table;
 // fig10 writes an SVG). See DESIGN.md §4 for the experiment index and
@@ -35,8 +37,28 @@ func main() {
 		queries  = flag.Int("queries", 0, "queries per accuracy experiment (0 = default)")
 		sample   = flag.Int("sample", 0, "fixed sample size for join catalogs (0 = default)")
 		gridSize = flag.Int("grid", 0, "fixed virtual-grid dimension (0 = default)")
+		perf     = flag.Bool("perf", false, "run hot-path microbenchmarks and write BENCH_<date>.json (op, ns/op, allocs/op, bytes/op)")
 	)
 	flag.Parse()
+
+	if *perf {
+		results, err := harness.RunPerf(*seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "knnbench:", err)
+			os.Exit(1)
+		}
+		for _, r := range results {
+			fmt.Printf("%-32s %14.1f ns/op %8d allocs/op %12d B/op\n",
+				r.Op, r.NsPerOp, r.AllocsPerOp, r.BytesPerOp)
+		}
+		path, err := harness.WritePerfJSON(*outDir, results)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "knnbench:", err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote", path)
+		return
+	}
 
 	cfg := harness.Config{}
 	if *quick {

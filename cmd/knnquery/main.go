@@ -6,12 +6,21 @@
 //
 //	knnquery -op select -x 12.5 -y 41.9 -k 25
 //	knnquery -op join -k 5 -outer 50000 -n 200000
+//	knnquery -op select -batch queries.txt -parallel 8
+//
+// In batch mode each line of the -batch file (or stdin when the path is
+// "-") holds one query as "x y k" (k optional, defaulting to -k); all
+// queries are estimated through the parallel batch API in one call.
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"knncost"
@@ -28,11 +37,17 @@ func main() {
 		y        = flag.Float64("y", 0, "query latitude (select only)")
 		k        = flag.Int("k", 10, "number of neighbors")
 		maxK     = flag.Int("maxk", 1000, "largest catalog-maintained k")
+		batch    = flag.String("batch", "", `file of "x y [k]" lines ("-" = stdin): batch select estimates`)
+		parallel = flag.Int("parallel", 0, "batch worker count (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
 	switch *op {
 	case "select":
+		if *batch != "" {
+			runSelectBatch(*n, *seed, *capacity, *batch, *k, *maxK, *parallel)
+			return
+		}
 		runSelect(*n, *seed, *capacity, *x, *y, *k, *maxK)
 	case "join":
 		runJoin(*n, *outerN, *seed, *capacity, *k, *maxK)
@@ -40,6 +55,93 @@ func main() {
 		fmt.Fprintf(os.Stderr, "knnquery: unknown -op %q (want select or join)\n", *op)
 		os.Exit(1)
 	}
+}
+
+// readQueries parses one query per line: "x y" or "x y k". Blank lines and
+// lines starting with '#' are skipped.
+func readQueries(r io.Reader, defaultK int) ([]knncost.SelectQuery, error) {
+	var queries []knncost.SelectQuery
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 2 && len(fields) != 3 {
+			return nil, fmt.Errorf("line %d: want \"x y [k]\", got %q", line, text)
+		}
+		qx, err := strconv.ParseFloat(fields[0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: x: %w", line, err)
+		}
+		qy, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: y: %w", line, err)
+		}
+		qk := defaultK
+		if len(fields) == 3 {
+			qk, err = strconv.Atoi(fields[2])
+			if err != nil {
+				return nil, fmt.Errorf("line %d: k: %w", line, err)
+			}
+		}
+		queries = append(queries, knncost.SelectQuery{
+			Point: knncost.Point{X: qx, Y: qy}, K: qk,
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return queries, nil
+}
+
+func runSelectBatch(n int, seed int64, capacity int, path string, defaultK, maxK, parallel int) {
+	in := os.Stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	queries, err := readQueries(in, defaultK)
+	if err != nil {
+		fatal(err)
+	}
+	pts := knncost.GenerateOSMLike(n, seed)
+	ix := knncost.BuildQuadtreeIndex(pts, knncost.IndexOptions{Capacity: capacity})
+	start := time.Now()
+	stair, err := knncost.NewStaircaseEstimator(ix, knncost.StaircaseOptions{MaxK: maxK})
+	if err != nil {
+		fatal(err)
+	}
+	buildTime := time.Since(start)
+	fmt.Printf("dataset: %d points, %d blocks (capacity %d); catalogs built in %s\n",
+		n, ix.NumBlocks(), capacity, buildTime.Round(time.Millisecond))
+
+	start = time.Now()
+	results := stair.EstimateSelectBatch(queries, parallel)
+	took := time.Since(start)
+	failed := 0
+	for i, res := range results {
+		q := queries[i]
+		if res.Err != nil {
+			fmt.Printf("%12.6f %12.6f k=%-5d error: %v\n", q.Point.X, q.Point.Y, q.K, res.Err)
+			failed++
+			continue
+		}
+		fmt.Printf("%12.6f %12.6f k=%-5d %10.2f blocks\n", q.Point.X, q.Point.Y, q.K, res.Blocks)
+	}
+	perQuery := time.Duration(0)
+	if len(queries) > 0 {
+		perQuery = took / time.Duration(len(queries))
+	}
+	fmt.Printf("\n%d queries (%d failed) in %s (%s/query)\n",
+		len(queries), failed, took, perQuery)
 }
 
 func runSelect(n int, seed int64, capacity int, x, y float64, k, maxK int) {

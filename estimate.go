@@ -50,6 +50,23 @@ func NewStaircaseEstimator(ix *Index, opt StaircaseOptions) (*StaircaseEstimator
 	return core.BuildStaircase(ix.tree, opt)
 }
 
+// SelectQuery is one k-NN-Select cost question in a batch.
+type SelectQuery = core.SelectQuery
+
+// SelectResult is the answer to one SelectQuery; a failed query carries its
+// own Err without affecting the rest of the batch.
+type SelectResult = core.SelectResult
+
+// EstimateSelectBatch answers queries[i] into result[i] with a worker
+// fan-out over est (parallelism 0 means GOMAXPROCS, 1 forces serial).
+// Every estimator in this package is read-only after construction and safe
+// for this concurrent use; results are identical to sequential
+// EstimateSelect calls regardless of parallelism. StaircaseEstimator also
+// exposes this as its EstimateSelectBatch method.
+func EstimateSelectBatch(est SelectEstimator, queries []SelectQuery, parallelism int) []SelectResult {
+	return core.EstimateSelectBatch(est, queries, parallelism)
+}
+
 // DensityEstimator is the density-based baseline of Tao et al. (paper ref
 // [24]): no precomputation, but every estimate walks the Count-Index.
 type DensityEstimator = core.DensityBased

@@ -1,0 +1,62 @@
+package catalog
+
+import "testing"
+
+// Lookup sits at the bottom of every estimate the service answers; it must
+// not allocate (the binary search is hand-rolled so no function value
+// escapes).
+func TestLookupZeroAlloc(t *testing.T) {
+	c := &Catalog{}
+	costs := []int{1, 1, 2, 3, 5, 8, 13, 21, 34, 55}
+	start := 1
+	for i, cost := range costs {
+		end := start + i
+		if err := c.Append(start, end, cost); err != nil {
+			t.Fatal(err)
+		}
+		start = end + 1
+	}
+	maxK := c.MaxK()
+	if allocs := testing.AllocsPerRun(200, func() {
+		for k := 1; k <= maxK; k++ {
+			if _, ok := c.Lookup(k); !ok {
+				t.Fatalf("Lookup(%d) missed", k)
+			}
+		}
+	}); allocs != 0 {
+		t.Errorf("Lookup allocates %.1f times per sweep, want 0", allocs)
+	}
+}
+
+// Reset and Reserve are the scratch-catalog reuse primitives: Reset keeps
+// capacity, Reserve pre-sizes it, and a reused catalog behaves like a fresh
+// one.
+func TestResetReserveReuse(t *testing.T) {
+	c := &Catalog{}
+	c.Reserve(8)
+	if got := cap(c.entries); got < 8 {
+		t.Fatalf("capacity %d after Reserve(8)", got)
+	}
+	if err := c.Append(1, 10, 3); err != nil {
+		t.Fatal(err)
+	}
+	c.Reset()
+	if c.Len() != 0 || c.MaxK() != 0 {
+		t.Fatalf("after Reset: Len=%d MaxK=%d", c.Len(), c.MaxK())
+	}
+	// A reset catalog must accept a fresh contiguous build from k=1.
+	if err := c.Append(1, 4, 7); err != nil {
+		t.Fatalf("append after Reset: %v", err)
+	}
+	if cost, ok := c.Lookup(2); !ok || cost != 7 {
+		t.Fatalf("Lookup(2) = (%d, %v) after reuse", cost, ok)
+	}
+	if allocs := testing.AllocsPerRun(100, func() {
+		c.Reset()
+		if err := c.Append(1, 4, 7); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Errorf("Reset+Append reuse allocates %.1f times, want 0", allocs)
+	}
+}

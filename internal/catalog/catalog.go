@@ -12,7 +12,6 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
-	"sort"
 
 	"knncost/internal/pqueue"
 )
@@ -57,15 +56,39 @@ func (c *Catalog) Append(startK, endK, cost int) error {
 // Lookup returns the cost for the interval containing k using binary search.
 // The boolean is false when k is outside [1, MaxK()] — the caller decides
 // how to handle out-of-catalog values (the paper routes k > MAX_K to the
-// density-based technique, Figure 5).
+// density-based technique, Figure 5). Lookup performs no allocations; it is
+// the innermost operation of every estimate the service answers.
 func (c *Catalog) Lookup(k int) (int, bool) {
 	if k < 1 || len(c.entries) == 0 || k > c.MaxK() {
 		return 0, false
 	}
-	i := sort.Search(len(c.entries), func(i int) bool {
-		return c.entries[i].EndK >= k
-	})
-	return c.entries[i].Cost, true
+	// Hand-rolled binary search for the first entry with EndK >= k: unlike
+	// sort.Search there is no function value on the hot path.
+	lo, hi := 0, len(c.entries)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if c.entries[mid].EndK < k {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return c.entries[lo].Cost, true
+}
+
+// Reset empties the catalog, retaining the allocated entry capacity. It is
+// the reuse primitive for scratch catalogs (e.g. the per-corner temporaries
+// of the staircase builder) that live in a pool.
+func (c *Catalog) Reset() { c.entries = c.entries[:0] }
+
+// Reserve ensures capacity for at least n entries, so that a builder that
+// knows an upper bound on interval count avoids incremental growth.
+func (c *Catalog) Reserve(n int) {
+	if n > cap(c.entries) {
+		grown := make([]Entry, len(c.entries), n)
+		copy(grown, c.entries)
+		c.entries = grown
+	}
 }
 
 // Entries returns the underlying entries. The slice is shared; callers must
@@ -106,11 +129,12 @@ func merge(cats []*Catalog, combine func(costs []int) int) (*Catalog, error) {
 			return nil, fmt.Errorf("catalog: merge input %d covers up to %d, want %d", i, c.MaxK(), maxK)
 		}
 	}
-	sources := make([]*sweepSource, len(cats))
+	sources := make([]sweepSource, len(cats))
 	costs := make([]int, len(cats))
 	var boundaries pqueue.Queue[int] // indexes into sources, keyed by current EndK
+	boundaries.Grow(len(cats))
 	for i, c := range cats {
-		sources[i] = &sweepSource{entries: c.entries}
+		sources[i] = sweepSource{entries: c.entries}
 		costs[i] = c.entries[0].Cost
 		boundaries.Push(i, float64(c.entries[0].EndK))
 	}
@@ -129,7 +153,7 @@ func merge(cats []*Catalog, combine func(costs []int) int) (*Catalog, error) {
 				break
 			}
 			i, _ := boundaries.Pop()
-			s := sources[i]
+			s := &sources[i]
 			s.pos++
 			if s.pos < len(s.entries) {
 				costs[i] = s.entries[s.pos].Cost

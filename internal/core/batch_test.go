@@ -1,0 +1,146 @@
+package core
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"knncost/internal/geom"
+)
+
+func batchFixture(t *testing.T) (*Staircase, []SelectQuery) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(51))
+	bounds := geom.NewRect(0, 0, 100, 100)
+	data := buildIx(clusteredPoints(rng, 5000, bounds), bounds, 64)
+	s, err := BuildStaircase(data, StaircaseOptions{MaxK: 150})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := make([]SelectQuery, 257) // odd length: uneven worker split
+	for i := range queries {
+		queries[i] = SelectQuery{
+			Point: geom.Point{X: rng.Float64() * 120, Y: rng.Float64() * 120},
+			K:     1 + rng.Intn(300), // some beyond MaxK → fallback path
+		}
+	}
+	return s, queries
+}
+
+func TestBatchEmpty(t *testing.T) {
+	s, _ := batchFixture(t)
+	if got := s.EstimateSelectBatch(nil, 0); len(got) != 0 {
+		t.Fatalf("batch of nil queries returned %d results", len(got))
+	}
+	if got := s.EstimateSelectBatch([]SelectQuery{}, 4); len(got) != 0 {
+		t.Fatalf("batch of zero queries returned %d results", len(got))
+	}
+}
+
+// Parallelism is an execution detail: 0 (GOMAXPROCS), 1 (serial) and any N
+// must produce identical results, each equal to a sequential EstimateSelect.
+func TestBatchParallelismInvariant(t *testing.T) {
+	s, queries := batchFixture(t)
+	want := make([]SelectResult, len(queries))
+	for i, q := range queries {
+		blocks, err := s.EstimateSelect(q.Point, q.K)
+		want[i] = SelectResult{Blocks: blocks, Err: err}
+	}
+	for _, parallelism := range []int{0, 1, 3, 16, 1000} {
+		got := s.EstimateSelectBatch(queries, parallelism)
+		if len(got) != len(want) {
+			t.Fatalf("parallelism %d: %d results, want %d", parallelism, len(got), len(want))
+		}
+		for i := range got {
+			if got[i].Blocks != want[i].Blocks || (got[i].Err == nil) != (want[i].Err == nil) {
+				t.Fatalf("parallelism %d, query %d: got (%v, %v), want (%v, %v)",
+					parallelism, i, got[i].Blocks, got[i].Err, want[i].Blocks, want[i].Err)
+			}
+		}
+	}
+}
+
+// One invalid query must fail alone: its neighbors' estimates are unaffected
+// and the batch completes.
+func TestBatchErrorIsolation(t *testing.T) {
+	s, queries := batchFixture(t)
+	bad := 17
+	queries[bad].K = 0 // invalid: k must be >= 1
+	results := s.EstimateSelectBatch(queries, 4)
+	if results[bad].Err == nil {
+		t.Fatalf("query %d with k=0 did not error", bad)
+	}
+	for i, res := range results {
+		if i == bad {
+			continue
+		}
+		if res.Err != nil {
+			t.Fatalf("query %d failed alongside the bad query: %v", i, res.Err)
+		}
+		want, err := s.EstimateSelect(queries[i].Point, queries[i].K)
+		if err != nil || res.Blocks != want {
+			t.Fatalf("query %d: got %v, want %v (err %v)", i, res.Blocks, want, err)
+		}
+	}
+}
+
+// Concurrent callers share the catalogs and the density scratch pool; run
+// under -race this verifies the batch path is data-race free.
+func TestBatchConcurrentCallers(t *testing.T) {
+	s, queries := batchFixture(t)
+	want := s.EstimateSelectBatch(queries, 1)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(par int) {
+			defer wg.Done()
+			for round := 0; round < 5; round++ {
+				got := s.EstimateSelectBatch(queries, par)
+				for i := range got {
+					if got[i].Blocks != want[i].Blocks {
+						t.Errorf("concurrent batch diverged at %d: %v != %v",
+							i, got[i].Blocks, want[i].Blocks)
+						return
+					}
+				}
+			}
+		}(w % 4)
+	}
+	wg.Wait()
+}
+
+// The generic entry point works for any estimator, not just Staircase.
+func TestBatchDensityEstimator(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	bounds := geom.NewRect(0, 0, 100, 100)
+	d := NewDensityBased(buildIx(clusteredPoints(rng, 3000, bounds), bounds, 64).CountTree())
+	queries := []SelectQuery{
+		{Point: geom.Point{X: 10, Y: 10}, K: 5},
+		{Point: geom.Point{X: 90, Y: 90}, K: 50},
+	}
+	results := EstimateSelectBatch(d, queries, 2)
+	for i, res := range results {
+		want, err := d.EstimateSelect(queries[i].Point, queries[i].K)
+		if err != nil || res.Err != nil || res.Blocks != want {
+			t.Fatalf("query %d: got (%v, %v), want (%v, %v)", i, res.Blocks, res.Err, want, err)
+		}
+	}
+}
+
+// Steady-state EstimateSelect on the catalog path must not allocate: point
+// location is a flat-grid lookup and catalog lookups are closure-free.
+func TestEstimateSelectZeroAlloc(t *testing.T) {
+	s, _ := batchFixture(t)
+	q := geom.Point{X: 42.5, Y: 57.5}
+	k := 37
+	if _, err := s.EstimateSelect(q, k); err != nil {
+		t.Fatal(err)
+	}
+	if allocs := testing.AllocsPerRun(200, func() {
+		if _, err := s.EstimateSelect(q, k); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Errorf("EstimateSelect allocates %.1f times per call, want 0", allocs)
+	}
+}

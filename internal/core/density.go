@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"math"
+	"sync"
 
 	"knncost/internal/geom"
 	"knncost/internal/index"
@@ -16,12 +17,33 @@ import (
 // is covered by the examined blocks. The estimated cost is then the number
 // of blocks overlapping that circle.
 //
+// The growth scan already visits blocks in non-decreasing MINDIST order, so
+// the overlap count falls out of the same pass: every block whose recorded
+// MINDIST does not exceed the final radius overlaps the circle, and the
+// stopping condition guarantees no unvisited block does. §2 describes this
+// as two scans; a regression test pins the single-pass estimate to the
+// two-pass formulation.
+//
 // It keeps no catalogs: preprocessing and storage are (near) zero, but every
 // estimate walks the Count-Index, which is what the staircase technique
 // beats by two orders of magnitude in Figure 12.
+//
+// A DensityBased estimator is stateless apart from pooled per-call scratch
+// and is safe for concurrent use.
 type DensityBased struct {
 	count *index.Tree
 }
+
+// densityScratch is the per-call working set: the MINDIST scan heap and the
+// recorded block distances, pooled so steady-state estimates stop
+// re-allocating them. A pooled scratch must not escape the goroutine that
+// took it.
+type densityScratch struct {
+	scan  index.Scan
+	dists []float64
+}
+
+var densityScratchPool = sync.Pool{New: func() any { return new(densityScratch) }}
 
 // NewDensityBased creates the estimator over a Count-Index (a data index
 // works too; only bounds and counts are read).
@@ -37,14 +59,76 @@ func (d *DensityBased) EstimateSelect(q geom.Point, k int) (float64, error) {
 	if d.count.NumBlocks() == 0 {
 		return 0, errors.New("core: empty index")
 	}
-	radius, ok := d.estimateRadius(q, k)
-	if !ok {
+	scratch := densityScratchPool.Get().(*densityScratch)
+	defer densityScratchPool.Put(scratch)
+	scratch.scan.Reset(d.count, q)
+	scratch.dists = scratch.dists[:0]
+
+	// Grow the search region block by block until the circle containing k
+	// points (under the combined-density assumption) fits within the
+	// examined blocks, recording each block's MINDIST as it is consumed.
+	var area float64
+	count := 0
+	radius := 0.0
+	covered := false
+	for {
+		blk, minDist, ok := scratch.scan.Next()
+		if !ok {
+			break
+		}
+		scratch.dists = append(scratch.dists, minDist)
+		area += blk.Bounds.Area()
+		count += blk.Count
+		if count == 0 {
+			continue
+		}
+		density := float64(count) / area
+		r := math.Sqrt(float64(k) / (math.Pi * density))
+		// The circle is covered by the examined blocks exactly when no
+		// unexamined block can intersect it: the next MINDIST exceeds
+		// the radius. (Blocks partition space, so "not intersecting any
+		// unexamined block" is the containment test of §2.)
+		next, more := scratch.scan.PeekDist()
+		if !more || next > r {
+			radius, covered = r, true
+			break
+		}
+	}
+	if !covered {
 		// Fewer than k points in the whole index: distance browsing
 		// scans everything.
 		return float64(d.count.NumBlocks()), nil
 	}
-	// Count the blocks overlapping the circle by a fresh MINDIST scan, as
-	// §2 describes.
+	// Count the blocks overlapping the circle. dists is non-decreasing (the
+	// scan is best-first), so the overlapping blocks are a prefix; late
+	// blocks consumed while the estimated radius was larger do not count.
+	cost := 0
+	for _, dist := range scratch.dists {
+		if dist > radius {
+			break
+		}
+		cost++
+	}
+	if cost == 0 {
+		cost = 1 // the block containing q is always scanned
+	}
+	return float64(cost), nil
+}
+
+// estimateSelectTwoPass is the literal two-scan formulation of §2
+// (estimateRadius followed by a fresh MINDIST overlap scan). It is retained
+// only as the reference the single-pass EstimateSelect is tested against.
+func (d *DensityBased) estimateSelectTwoPass(q geom.Point, k int) (float64, error) {
+	if k < 1 {
+		return 0, errors.New("core: k must be >= 1")
+	}
+	if d.count.NumBlocks() == 0 {
+		return 0, errors.New("core: empty index")
+	}
+	radius, ok := d.estimateRadius(q, k)
+	if !ok {
+		return float64(d.count.NumBlocks()), nil
+	}
 	cost := 0
 	scan := d.count.ScanMinDist(q)
 	for {
@@ -55,7 +139,7 @@ func (d *DensityBased) EstimateSelect(q geom.Point, k int) (float64, error) {
 		cost++
 	}
 	if cost == 0 {
-		cost = 1 // the block containing q is always scanned
+		cost = 1
 	}
 	return float64(cost), nil
 }
@@ -80,10 +164,6 @@ func (d *DensityBased) estimateRadius(q geom.Point, k int) (float64, bool) {
 		}
 		density := float64(count) / area
 		radius := math.Sqrt(float64(k) / (math.Pi * density))
-		// The circle is covered by the examined blocks exactly when no
-		// unexamined block can intersect it: the next MINDIST exceeds
-		// the radius. (Blocks partition space, so "not intersecting any
-		// unexamined block" is the containment test of §2.)
 		next, more := scan.PeekDist()
 		if !more || next > radius {
 			return radius, true

@@ -108,10 +108,13 @@ func BuildCatalogMerge(outer, inner *index.Tree, sampleSize, maxK int) (*Catalog
 	if inner.NumBlocks() == 0 {
 		return nil, errors.New("core: inner relation has no blocks")
 	}
+	// Temporary catalogs are independent, so build them on all cores; the
+	// result is deterministic because each worker writes only its slot.
 	temps := make([]*catalog.Catalog, len(sample))
-	for i, blk := range sample {
-		temps[i] = BuildLocalityCatalog(inner, blk.Bounds, maxK)
-	}
+	_ = forEachIndexed(len(sample), 0, func(i int) error {
+		temps[i] = BuildLocalityCatalog(inner, sample[i].Bounds, maxK)
+		return nil
+	})
 	merged, err := catalog.MergeSum(temps)
 	if err != nil {
 		return nil, fmt.Errorf("core: merging locality catalogs: %w", err)
@@ -194,9 +197,11 @@ func BuildVirtualGrid(inner *index.Tree, nx, ny, maxK int) (*VirtualGrid, error)
 		ny:       ny,
 		maxK:     maxK,
 	}
-	for i, cell := range cells {
-		v.catalogs[i] = BuildLocalityCatalog(inner, cell, maxK)
-	}
+	// Per-cell catalogs are independent; build them on all cores.
+	_ = forEachIndexed(len(cells), 0, func(i int) error {
+		v.catalogs[i] = BuildLocalityCatalog(inner, cells[i], maxK)
+		return nil
+	})
 	return v, nil
 }
 

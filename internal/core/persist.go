@@ -12,6 +12,7 @@ import (
 	"knncost/internal/geom"
 	"knncost/internal/grid"
 	"knncost/internal/index"
+	"knncost/internal/ptloc"
 )
 
 // Catalog persistence: a query optimizer builds its statistics once and
@@ -189,6 +190,7 @@ func LoadStaircase(data *index.Tree, r io.Reader, opt StaircaseOptions) (*Stairc
 	}
 	s := &Staircase{
 		aux:      aux,
+		loc:      ptloc.Build(aux),
 		mode:     mode,
 		maxK:     maxK,
 		fallback: opt.Fallback,

@@ -1,11 +1,24 @@
 package core
 
 import (
+	"sync"
+
 	"knncost/internal/catalog"
 	"knncost/internal/geom"
 	"knncost/internal/index"
 	"knncost/internal/knn"
 )
+
+// browserPool recycles distance-browsing state across Procedure 1 runs: the
+// blocks-queue and tuples-queue a browser grows while simulating one anchor
+// are reused for the next anchor instead of being reallocated. Staircase
+// builds run Procedure 1 five times per block across many goroutines, so the
+// pool is what makes preprocessing allocation-light.
+//
+// Pooling invariant: a Browser taken from the pool is used by exactly one
+// goroutine and returned before the building function exits — it must never
+// escape into a returned value or another goroutine.
+var browserPool = sync.Pool{New: func() any { return new(knn.Browser) }}
 
 // BuildSelectCatalog runs Procedure 1 of the paper: it simulates distance
 // browsing from q over the data index and records, for every k in
@@ -17,11 +30,24 @@ import (
 // assigned the cost of scanning the whole index (distance browsing will
 // have consumed every block by then).
 func BuildSelectCatalog(data *index.Tree, q geom.Point, maxK int) *catalog.Catalog {
+	browser := browserPool.Get().(*knn.Browser)
+	defer browserPool.Put(browser)
 	cat := &catalog.Catalog{}
+	buildSelectCatalogInto(cat, browser, data, q, maxK)
+	return cat
+}
+
+// buildSelectCatalogInto is Procedure 1 with caller-owned state: the result
+// is written into cat (reset first, capacity retained) and the traversal
+// reuses browser's queues. It is the per-anchor step of the staircase
+// builder, which re-seeds one pooled browser for all five anchors of a
+// block.
+func buildSelectCatalogInto(cat *catalog.Catalog, browser *knn.Browser, data *index.Tree, q geom.Point, maxK int) {
+	cat.Reset()
 	if maxK < 1 {
-		return cat
+		return
 	}
-	browser := knn.NewBrowser(data, q)
+	browser.Reset(data, q)
 	startK := 1
 	currentCost := -1
 	k := 0
@@ -52,7 +78,6 @@ func BuildSelectCatalog(data *index.Tree, q geom.Point, maxK int) *catalog.Catal
 		// Fewer than maxK points: every block has been scanned.
 		mustAppend(cat, startK, maxK, data.NumBlocks())
 	}
-	return cat
 }
 
 // mustAppend appends an interval that is contiguous by construction; a

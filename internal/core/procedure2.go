@@ -1,10 +1,22 @@
 package core
 
 import (
+	"sync"
+
 	"knncost/internal/catalog"
 	"knncost/internal/geom"
 	"knncost/internal/index"
 )
+
+// localityScans bundles the two interleaved MINDIST scans of Procedure 2 so
+// both heaps can be pooled and re-seeded together. The same pooling
+// invariant as browserPool applies: a pooled pair must not escape the
+// goroutine that took it.
+type localityScans struct {
+	count, max index.Scan
+}
+
+var localityScanPool = sync.Pool{New: func() any { return new(localityScans) }}
 
 // BuildLocalityCatalog runs Procedure 2 of the paper: two interleaved
 // MINDIST scans of the inner Count-Index build, in O(L) block visits, a
@@ -30,8 +42,11 @@ func BuildLocalityCatalog(inner *index.Tree, from geom.Origin, maxK int) *catalo
 	if maxK < 1 {
 		return cat
 	}
-	countScan := inner.ScanMinDist(from)
-	maxScan := inner.ScanMinDist(from)
+	scans := localityScanPool.Get().(*localityScans)
+	defer localityScanPool.Put(scans)
+	scans.count.Reset(inner, from)
+	scans.max.Reset(inner, from)
+	countScan, maxScan := &scans.count, &scans.max
 	cumulative := 0 // points accumulated by Count-Scan
 	aggCost := 0    // blocks consumed by Max-Scan == current locality size
 	highestMaxDist := 0.0

@@ -10,6 +10,8 @@ import (
 	"knncost/internal/catalog"
 	"knncost/internal/geom"
 	"knncost/internal/index"
+	"knncost/internal/knn"
+	"knncost/internal/ptloc"
 	"knncost/internal/quadtree"
 )
 
@@ -80,8 +82,12 @@ type StaircaseOptions struct {
 // (in ModeCenterCorners) a corners-catalog — the maximum over the four
 // corner catalogs — each built by Procedure 1. A query locates its block,
 // looks up both catalogs, and interpolates with Equations 1 and 2.
+// A Staircase is immutable after construction and safe for concurrent use
+// (assuming its fallback estimator is too, which the default DensityBased
+// is); EstimateSelectBatch fans queries out over it freely.
 type Staircase struct {
 	aux      *index.Tree
+	loc      *ptloc.Grid           // O(1) point location over aux leaf blocks
 	center   []*catalog.Catalog    // indexed by aux block ID
 	corners  []*catalog.Catalog    // merged max; nil unless ModeCenterCorners
 	quads    [][4]*catalog.Catalog // per-corner; nil unless ModeCenterQuadrant
@@ -89,6 +95,20 @@ type Staircase struct {
 	maxK     int
 	fallback SelectEstimator
 }
+
+// stairScratch is the per-goroutine working set of the staircase builder:
+// one re-seedable browser plus four scratch catalogs for the corner
+// temporaries that are discarded after the max-merge. Pooling it means a
+// build allocates only what it retains (the per-block center/corner
+// catalogs), not per-anchor traversal state. A pooled scratch must not
+// escape the goroutine that took it.
+type stairScratch struct {
+	browser knn.Browser
+	corner  [4]catalog.Catalog
+	cats    [4]*catalog.Catalog
+}
+
+var stairScratchPool = sync.Pool{New: func() any { return new(stairScratch) }}
 
 // BuildStaircase precomputes the staircase catalogs for the given data
 // index. When the data index is space-partitioning (quadtree, grid) the
@@ -111,6 +131,7 @@ func BuildStaircase(data *index.Tree, opt StaircaseOptions) (*Staircase, error) 
 	}
 	s := &Staircase{
 		aux:      aux,
+		loc:      ptloc.Build(aux),
 		mode:     opt.Mode,
 		maxK:     opt.MaxK,
 		fallback: opt.Fallback,
@@ -126,21 +147,31 @@ func BuildStaircase(data *index.Tree, opt StaircaseOptions) (*Staircase, error) 
 		s.quads = make([][4]*catalog.Catalog, aux.NumBlocks())
 	}
 	buildBlock := func(b *index.Block) error {
-		s.center[b.ID] = BuildSelectCatalog(data, b.Bounds.Center(), opt.MaxK)
+		// One pooled scratch serves all five anchors of the block: the
+		// browser is re-seeded per anchor and the four corner catalogs are
+		// built into reusable scratch space, since only their max-merge is
+		// retained.
+		scratch := stairScratchPool.Get().(*stairScratch)
+		defer stairScratchPool.Put(scratch)
+		center := &catalog.Catalog{}
+		buildSelectCatalogInto(center, &scratch.browser, data, b.Bounds.Center(), opt.MaxK)
+		s.center[b.ID] = center
 		switch opt.Mode {
 		case ModeCenterCorners:
-			cornerCats := make([]*catalog.Catalog, 0, 4)
-			for _, c := range b.Bounds.Corners() {
-				cornerCats = append(cornerCats, BuildSelectCatalog(data, c, opt.MaxK))
+			for i, c := range b.Bounds.Corners() {
+				buildSelectCatalogInto(&scratch.corner[i], &scratch.browser, data, c, opt.MaxK)
+				scratch.cats[i] = &scratch.corner[i]
 			}
-			merged, err := catalog.MergeMax(cornerCats)
+			merged, err := catalog.MergeMax(scratch.cats[:])
 			if err != nil {
 				return fmt.Errorf("core: merging corner catalogs of block %d: %w", b.ID, err)
 			}
 			s.corners[b.ID] = merged
 		case ModeCenterQuadrant:
 			for i, c := range b.Bounds.Corners() {
-				s.quads[b.ID][i] = BuildSelectCatalog(data, c, opt.MaxK)
+				quad := &catalog.Catalog{}
+				buildSelectCatalogInto(quad, &scratch.browser, data, c, opt.MaxK)
+				s.quads[b.ID][i] = quad
 			}
 		}
 		return nil
@@ -155,12 +186,27 @@ func BuildStaircase(data *index.Tree, opt StaircaseOptions) (*Staircase, error) 
 // GOMAXPROCS). Each block writes only its own catalog slots, so no
 // synchronization beyond the WaitGroup is needed; the first error wins.
 func forEachBlock(blocks []*index.Block, parallelism int, fn func(*index.Block) error) error {
+	return forEachIndexed(len(blocks), parallelism, func(i int) error {
+		return fn(blocks[i])
+	})
+}
+
+// forEachIndexed runs fn(0..n-1) with the given parallelism (0 or negative
+// means GOMAXPROCS; 1 forces a serial loop). It is the worker fan-out shared
+// by the catalog builders and the batch estimation APIs: callers guarantee
+// that fn(i) touches only slot i of any shared output, so no synchronization
+// beyond the WaitGroup is needed. The first error cancels remaining work and
+// is returned.
+func forEachIndexed(n, parallelism int, fn func(int) error) error {
 	if parallelism <= 0 {
 		parallelism = runtime.GOMAXPROCS(0)
 	}
-	if parallelism == 1 || len(blocks) < 2 {
-		for _, b := range blocks {
-			if err := fn(b); err != nil {
+	if parallelism > n {
+		parallelism = n
+	}
+	if parallelism <= 1 || n < 2 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
 				return err
 			}
 		}
@@ -177,10 +223,10 @@ func forEachBlock(blocks []*index.Block, parallelism int, fn func(*index.Block) 
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
-				if i >= len(blocks) || firstErr.Load() != nil {
+				if i >= n || firstErr.Load() != nil {
 					return
 				}
-				if err := fn(blocks[i]); err != nil {
+				if err := fn(i); err != nil {
 					firstErr.CompareAndSwap(nil, err)
 					return
 				}
@@ -208,6 +254,10 @@ func auxiliaryIndex(data *index.Tree, capacity int) *index.Tree {
 // that fall inside the auxiliary index are answered from the catalogs;
 // anything else routes to the fallback estimator, mirroring the query flow
 // of Figure 5.
+//
+// The catalog path performs zero heap allocations: block resolution is an
+// O(1) lookup in a flat point-location grid (not a tree descent) and the
+// catalog lookups are closure-free binary searches. A test pins this.
 func (s *Staircase) EstimateSelect(q geom.Point, k int) (float64, error) {
 	if k < 1 {
 		return 0, errors.New("core: k must be >= 1")
@@ -215,7 +265,7 @@ func (s *Staircase) EstimateSelect(q geom.Point, k int) (float64, error) {
 	if k > s.maxK {
 		return s.fallback.EstimateSelect(q, k)
 	}
-	blk := s.aux.Find(q)
+	blk := s.loc.Find(q)
 	if blk == nil {
 		return s.fallback.EstimateSelect(q, k)
 	}
@@ -295,9 +345,16 @@ func (s *Staircase) StorageBytes() int {
 // inspection and the Figure 4 experiment. It returns nil when p is outside
 // the auxiliary index.
 func (s *Staircase) CenterCatalog(p geom.Point) *catalog.Catalog {
-	blk := s.aux.Find(p)
+	blk := s.loc.Find(p)
 	if blk == nil {
 		return nil
 	}
 	return s.center[blk.ID]
+}
+
+// EstimateSelectBatch answers many k-NN-Select cost queries with a worker
+// fan-out over the shared read-only catalogs. See the package-level
+// EstimateSelectBatch for the contract.
+func (s *Staircase) EstimateSelectBatch(queries []SelectQuery, parallelism int) []SelectResult {
+	return EstimateSelectBatch(s, queries, parallelism)
 }

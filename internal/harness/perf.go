@@ -1,0 +1,162 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"knncost/internal/core"
+	"knncost/internal/datagen"
+	"knncost/internal/geom"
+	"knncost/internal/quadtree"
+)
+
+// PerfResult is one machine-readable microbenchmark measurement. The file
+// written by WritePerfJSON accumulates one record per hot operation, so the
+// performance trajectory of the estimation paths can be tracked across PRs
+// by diffing BENCH_<date>.json files.
+type PerfResult struct {
+	Op          string  `json:"op"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	Iterations  int     `json:"iterations"`
+}
+
+// perfCase names one measured operation.
+type perfCase struct {
+	op string
+	fn func(b *testing.B)
+}
+
+// RunPerf measures the hot operations of the library — catalog builds,
+// single estimates, batch estimates, lookups — with testing.Benchmark and
+// returns the results. The workload is fixed (OSM-like, 20k points,
+// capacity 256, MaxK 200) so numbers are comparable across runs on the same
+// machine.
+func RunPerf(seed int64) ([]PerfResult, error) {
+	pts := datagen.OSMLike(20_000, seed)
+	tree := quadtree.Build(pts, quadtree.Options{
+		Capacity: 256, Bounds: datagen.WorldBounds,
+	}).Index()
+	count := tree.CountTree()
+	const maxK = 200
+
+	stair, err := core.BuildStaircase(tree, core.StaircaseOptions{
+		MaxK: maxK, Mode: core.ModeCenterCorners,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("harness: perf staircase build: %w", err)
+	}
+	density := core.NewDensityBased(count)
+	cm, err := core.BuildCatalogMerge(count, count, 100, maxK)
+	if err != nil {
+		return nil, fmt.Errorf("harness: perf catalog-merge build: %w", err)
+	}
+
+	// A deterministic query mix: half uniform, half data points.
+	rng := rand.New(rand.NewSource(seed * 7919))
+	queries := make([]core.SelectQuery, 256)
+	b := datagen.WorldBounds
+	for i := range queries {
+		p := pts[rng.Intn(len(pts))]
+		if i%2 == 0 {
+			p = geom.Point{
+				X: b.Min.X + rng.Float64()*b.Width(),
+				Y: b.Min.Y + rng.Float64()*b.Height(),
+			}
+		}
+		queries[i] = core.SelectQuery{Point: p, K: 1 + i%maxK}
+	}
+	cat := stair.CenterCatalog(queries[1].Point)
+
+	cases := []perfCase{
+		{"staircase_build_center_corners", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.BuildStaircase(tree, core.StaircaseOptions{
+					MaxK: maxK, Mode: core.ModeCenterCorners,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"estimate_select_staircase", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				q := queries[i%len(queries)]
+				if _, err := stair.EstimateSelect(q.Point, q.K); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"estimate_select_density", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				q := queries[i%len(queries)]
+				if _, err := density.EstimateSelect(q.Point, q.K); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"estimate_select_batch256", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				stair.EstimateSelectBatch(queries, 0)
+			}
+		}},
+		{"catalog_lookup", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cat.Lookup(1 + i%maxK)
+			}
+		}},
+		{"locality_catalog_build", func(b *testing.B) {
+			blocks := count.Blocks()
+			for i := 0; i < b.N; i++ {
+				core.BuildLocalityCatalog(count, blocks[i%len(blocks)].Bounds, maxK)
+			}
+		}},
+		{"catalogmerge_build", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.BuildCatalogMerge(count, count, 100, maxK); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"estimate_join_catalogmerge", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := cm.EstimateJoin(1 + i%maxK); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+	}
+
+	results := make([]PerfResult, 0, len(cases))
+	for _, c := range cases {
+		r := testing.Benchmark(c.fn)
+		results = append(results, PerfResult{
+			Op:          c.op,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			Iterations:  r.N,
+		})
+	}
+	return results, nil
+}
+
+// WritePerfJSON writes results as BENCH_<date>.json in dir ("" means the
+// working directory) and returns the path.
+func WritePerfJSON(dir string, results []PerfResult) (string, error) {
+	name := fmt.Sprintf("BENCH_%s.json", time.Now().Format("2006-01-02"))
+	path := filepath.Join(dir, name)
+	data, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}

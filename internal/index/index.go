@@ -257,11 +257,22 @@ type Scan struct {
 
 // ScanMinDist starts a MINDIST scan of t from the given origin.
 func (t *Tree) ScanMinDist(from geom.Origin) *Scan {
-	s := &Scan{from: from}
+	s := &Scan{}
+	s.Reset(t, from)
+	return s
+}
+
+// Reset re-seeds s as a fresh MINDIST scan of t from the given origin,
+// retaining the queue capacity of previous scans. It is the reuse primitive
+// behind the zero-allocation catalog builders: one Scan (or knn.Browser)
+// can serve many anchors without re-allocating its heap each time. The zero
+// value of Scan is valid input.
+func (s *Scan) Reset(t *Tree, from geom.Origin) {
+	s.from = from
+	s.queue.Reset()
 	if t.root != nil {
 		s.queue.Push(t.root, from.MinDistTo(t.root.Bounds))
 	}
-	return s
 }
 
 // Next returns the unvisited block with the smallest MINDIST from the

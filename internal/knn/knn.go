@@ -47,16 +47,32 @@ type Stats struct {
 // head of the tuples-queue. This lazy policy is what makes the algorithm
 // optimal in blocks scanned and usable when k is not known in advance (the
 // "k-closest restaurants that provide seafood" scenario of §2).
+// A Browser is re-seedable: Reset starts a fresh traversal while keeping the
+// capacity of both queues, so one Browser can serve many anchors with no
+// steady-state allocation (the catalog builders of internal/core pool
+// Browsers this way). A Browser is not safe for concurrent use; a pooled
+// Browser must not escape the goroutine that took it from the pool.
 type Browser struct {
 	q      geom.Point
-	scan   *index.Scan
+	scan   index.Scan
 	tuples pqueue.Queue[geom.Point]
 	stats  Stats
 }
 
 // NewBrowser starts a distance-browsing traversal of ix from query point q.
 func NewBrowser(ix *index.Tree, q geom.Point) *Browser {
-	return &Browser{q: q, scan: ix.ScanMinDist(q)}
+	b := &Browser{}
+	b.Reset(ix, q)
+	return b
+}
+
+// Reset re-seeds b as a fresh traversal of ix from q, retaining the queue
+// capacity of previous traversals. The zero value of Browser is valid input.
+func (b *Browser) Reset(ix *index.Tree, q geom.Point) {
+	b.q = q
+	b.scan.Reset(ix, q)
+	b.tuples.Reset()
+	b.stats = Stats{}
 }
 
 // Next returns the next nearest neighbor of the query point. The boolean is

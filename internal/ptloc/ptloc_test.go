@@ -1,0 +1,96 @@
+package ptloc
+
+import (
+	"math/rand"
+	"testing"
+
+	"knncost/internal/datagen"
+	"knncost/internal/geom"
+	"knncost/internal/grid"
+	"knncost/internal/index"
+	"knncost/internal/kdtree"
+	"knncost/internal/quadtree"
+)
+
+// trees builds one index of each space-partitioning kind over the same
+// skewed point set.
+func trees(t *testing.T) map[string]*index.Tree {
+	t.Helper()
+	pts := datagen.OSMLike(20_000, 7)
+	bounds := datagen.WorldBounds
+	return map[string]*index.Tree{
+		"quadtree": quadtree.Build(pts, quadtree.Options{Capacity: 64, Bounds: bounds}).Index(),
+		"kdtree":   kdtree.Build(pts, kdtree.Options{Capacity: 64, Bounds: bounds}).Index(),
+		"grid":     grid.Build(pts, bounds, 17, 13).Index(),
+	}
+}
+
+// Find must agree with the tree descent everywhere: interior points, data
+// points, block corners (shared boundaries), and out-of-bounds points.
+func TestFindMatchesTreeDescent(t *testing.T) {
+	for name, tree := range trees(t) {
+		t.Run(name, func(t *testing.T) {
+			g := Build(tree)
+			rng := rand.New(rand.NewSource(11))
+			b := tree.Bounds()
+			check := func(p geom.Point) {
+				t.Helper()
+				want := tree.Find(p)
+				got := g.Find(p)
+				if want != got {
+					t.Fatalf("Find(%v): grid %+v, tree %+v", p, got, want)
+				}
+			}
+			for i := 0; i < 20_000; i++ {
+				check(geom.Point{
+					X: b.Min.X + rng.Float64()*b.Width(),
+					Y: b.Min.Y + rng.Float64()*b.Height(),
+				})
+			}
+			// Block boundaries are the adversarial inputs: ties must
+			// resolve to the same block as the descent.
+			for _, blk := range tree.Blocks() {
+				for _, c := range blk.Bounds.Corners() {
+					check(c)
+				}
+				check(blk.Bounds.Center())
+			}
+			// Outside the bounds both must return nil.
+			for _, p := range []geom.Point{
+				{X: b.Min.X - 1, Y: b.Min.Y},
+				{X: b.Max.X + 1, Y: b.Max.Y},
+				{X: b.Min.X, Y: b.Max.Y + 1e9},
+			} {
+				check(p)
+			}
+		})
+	}
+}
+
+func TestFindZeroAlloc(t *testing.T) {
+	for name, tree := range trees(t) {
+		g := Build(tree)
+		b := tree.Bounds()
+		p := geom.Point{X: b.Min.X + b.Width()/3, Y: b.Min.Y + b.Height()/3}
+		if allocs := testing.AllocsPerRun(100, func() {
+			if g.Find(p) == nil {
+				t.Fatal("expected a block")
+			}
+		}); allocs != 0 {
+			t.Errorf("%s: Find allocates %.1f times per call, want 0", name, allocs)
+		}
+	}
+}
+
+func TestDegenerateTree(t *testing.T) {
+	// A single-block index with zero-area bounds must still resolve.
+	blk := &index.Block{Bounds: geom.Rect{Min: geom.Point{X: 5, Y: 5}, Max: geom.Point{X: 5, Y: 5}}}
+	tree := index.New(&index.Node{Bounds: blk.Bounds, Block: blk}, true)
+	g := Build(tree)
+	if got := g.Find(geom.Point{X: 5, Y: 5}); got != blk {
+		t.Fatalf("degenerate Find = %+v, want the only block", got)
+	}
+	if got := g.Find(geom.Point{X: 6, Y: 5}); got != nil {
+		t.Fatalf("out-of-bounds Find = %+v, want nil", got)
+	}
+}

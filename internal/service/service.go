@@ -16,6 +16,11 @@
 //	/estimate/join?outer=R&inner=S&k=&method=catalogmerge|virtualgrid|blocksample
 //	/cost/select?rel=R&x=&y=&k=       actual cost (executes distance browsing)
 //	/cost/join?outer=R&inner=S&k=     actual cost (computes localities)
+//
+// Plus one POST endpoint for high-throughput clients:
+//
+//	POST /estimate/select/batch       JSON body, many select estimates in one
+//	                                  round trip with server-side parallelism
 package service
 
 import (
@@ -137,6 +142,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /relations", s.handleRelations)
 	s.mux.HandleFunc("GET /estimate/select", s.handleEstimateSelect)
+	s.mux.HandleFunc("POST /estimate/select/batch", s.handleEstimateSelectBatch)
 	s.mux.HandleFunc("GET /estimate/join", s.handleEstimateJoin)
 	s.mux.HandleFunc("GET /cost/select", s.handleCostSelect)
 	s.mux.HandleFunc("GET /cost/join", s.handleCostJoin)
@@ -245,18 +251,8 @@ func (s *Server) handleEstimateSelect(w http.ResponseWriter, r *http.Request) {
 		badRequest(w, "%v", err)
 		return
 	}
-	method := r.URL.Query().Get("method")
-	if method == "" {
-		method = "staircase"
-	}
-	var est core.SelectEstimator
-	switch method {
-	case "staircase":
-		est = rel.staircase
-	case "density":
-		est = rel.density
-	default:
-		badRequest(w, "unknown select method %q (want staircase or density)", method)
+	est, method, ok := s.selectEstimator(w, rel, r.URL.Query().Get("method"))
+	if !ok {
 		return
 	}
 	start := time.Now()
@@ -268,6 +264,98 @@ func (s *Server) handleEstimateSelect(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, EstimateResponse{
 		Relation: rel.name, K: k, Method: method,
 		Blocks: blocks, TookNs: time.Since(start).Nanoseconds(),
+	})
+}
+
+// selectEstimator resolves a select-method name for rel; ok is false after
+// an error response has been written.
+func (s *Server) selectEstimator(w http.ResponseWriter, rel *relation, method string) (core.SelectEstimator, string, bool) {
+	if method == "" {
+		method = "staircase"
+	}
+	switch method {
+	case "staircase":
+		return rel.staircase, method, true
+	case "density":
+		return rel.density, method, true
+	default:
+		badRequest(w, "unknown select method %q (want staircase or density)", method)
+		return nil, method, false
+	}
+}
+
+// BatchSelectRequest is the body of POST /estimate/select/batch.
+type BatchSelectRequest struct {
+	// Relation names the target relation (required).
+	Relation string `json:"relation"`
+	// Method is "staircase" (default) or "density".
+	Method string `json:"method,omitempty"`
+	// Parallelism is the server-side worker count; 0 means GOMAXPROCS,
+	// 1 forces a serial loop. The results are identical either way.
+	Parallelism int `json:"parallelism,omitempty"`
+	// Queries are answered independently and in order.
+	Queries []BatchSelectQuery `json:"queries"`
+}
+
+// BatchSelectQuery is one query of a batch request.
+type BatchSelectQuery struct {
+	X float64 `json:"x"`
+	Y float64 `json:"y"`
+	K int     `json:"k"`
+}
+
+// BatchSelectResult is the answer to the query at the same position of the
+// request. A failed query reports its error here without failing the batch.
+type BatchSelectResult struct {
+	Blocks float64 `json:"blocks"`
+	Error  string  `json:"error,omitempty"`
+}
+
+// BatchSelectResponse is the reply to POST /estimate/select/batch.
+type BatchSelectResponse struct {
+	Relation string              `json:"relation"`
+	Method   string              `json:"method"`
+	Results  []BatchSelectResult `json:"results"`
+	TookNs   int64               `json:"took_ns"`
+}
+
+// maxBatchBody bounds the request body (1 MiB ≈ tens of thousands of
+// queries) so a misbehaving client cannot exhaust server memory.
+const maxBatchBody = 1 << 20
+
+func (s *Server) handleEstimateSelectBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchSelectRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBatchBody)).Decode(&req); err != nil {
+		badRequest(w, "decoding batch request: %v", err)
+		return
+	}
+	rel, ok := s.relations[req.Relation]
+	if !ok {
+		badRequest(w, "unknown relation %q (have %v)", req.Relation, s.names)
+		return
+	}
+	est, method, ok := s.selectEstimator(w, rel, req.Method)
+	if !ok {
+		return
+	}
+	queries := make([]core.SelectQuery, len(req.Queries))
+	for i, q := range req.Queries {
+		queries[i] = core.SelectQuery{Point: geom.Point{X: q.X, Y: q.Y}, K: q.K}
+	}
+	start := time.Now()
+	results := core.EstimateSelectBatch(est, queries, req.Parallelism)
+	took := time.Since(start)
+	out := make([]BatchSelectResult, len(results))
+	for i, res := range results {
+		if res.Err != nil {
+			out[i] = BatchSelectResult{Error: res.Err.Error()}
+			continue
+		}
+		out[i] = BatchSelectResult{Blocks: res.Blocks}
+	}
+	writeJSON(w, http.StatusOK, BatchSelectResponse{
+		Relation: req.Relation, Method: method,
+		Results: out, TookNs: took.Nanoseconds(),
 	})
 }
 

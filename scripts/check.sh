@@ -1,0 +1,12 @@
+#!/bin/sh
+# Repository gate: vet, full tests, race tests on the concurrent packages,
+# and a 1-iteration benchmark smoke. Equivalent to `make check`; kept as a
+# script for environments without make.
+set -eux
+
+cd "$(dirname "$0")/.."
+
+go vet ./...
+go test ./...
+go test -race ./internal/core/... ./internal/service/...
+go test -run xxx -bench 'BenchmarkEstimateSelectHot|BenchmarkStaircaseBuildAlloc|BenchmarkFig13SelectPreprocessCC' -benchtime 1x .
