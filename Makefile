@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check vet race bench-smoke bench perf
+.PHONY: all build test check vet race bench-smoke bench perf soak
 
 all: check
 
@@ -14,9 +14,11 @@ vet:
 	$(GO) vet ./...
 
 # Race-test the packages with concurrent hot paths: the staircase build
-# fan-out, the batch estimation workers, and the HTTP batch endpoint.
+# fan-out, the batch estimation workers, the HTTP batch endpoint, the
+# robustness middleware, the fault-injection harness, and the daemon's
+# signal-driven drain.
 race:
-	$(GO) test -race ./internal/core/... ./internal/service/...
+	$(GO) test -race ./internal/core/... ./internal/service/... ./internal/faultinject/... ./cmd/knncostd/...
 
 # One iteration of every benchmark: catches benchmarks that panic or
 # regress to building their fixture per op, without the full measurement
@@ -27,8 +29,13 @@ bench-smoke:
 # The gate run by scripts/check.sh and documented in README.md.
 check: vet
 	$(GO) test ./...
-	$(GO) test -race ./internal/core/... ./internal/service/...
+	$(GO) test -race ./internal/core/... ./internal/service/... ./internal/faultinject/... ./cmd/knncostd/...
 	$(GO) test -run xxx -bench 'BenchmarkEstimateSelectHot|BenchmarkStaircaseBuildAlloc|BenchmarkFig13SelectPreprocessCC' -benchtime 1x .
+
+# Boot a real knncostd, burst the batch endpoint, SIGTERM it, and assert a
+# clean drain and exit 0 — the end-to-end smoke of the robustness layer.
+soak:
+	sh scripts/soak.sh
 
 # Full measured benchmark sweep (slow).
 bench:

@@ -11,70 +11,230 @@
 //	curl 'localhost:8080/estimate/select?rel=restaurants&x=10&y=45&k=25'
 //	curl 'localhost:8080/estimate/join?outer=hotels&inner=restaurants&k=5'
 //	curl 'localhost:8080/cost/select?rel=restaurants&x=10&y=45&k=25'
+//
+// The daemon is hardened for production traffic:
+//
+//   - The listener binds immediately; /healthz (liveness) answers 200 from
+//     the first moment, /readyz answers 503 "starting" until every catalog
+//     is built, 200 "ready" after, and 503 "draining" during shutdown.
+//   - Every other route is wrapped in the middleware stack of
+//     internal/service/middleware: request IDs, access logging, panic
+//     recovery (JSON 500, process survives), per-route deadlines (stricter
+//     for the expensive ground-truth /cost/* routes), and load shedding
+//     with 503 + Retry-After beyond -max-in-flight plus -queue.
+//   - SIGINT/SIGTERM trigger a graceful drain: the ready gate flips to
+//     draining, in-flight requests get up to -drain-timeout to finish, and
+//     the process exits 0.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"net"
 	"net/http"
+	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"sync/atomic"
+	"syscall"
 	"time"
 
 	"knncost/internal/datagen"
 	"knncost/internal/index"
 	"knncost/internal/quadtree"
 	"knncost/internal/service"
+	"knncost/internal/service/middleware"
 )
 
-func main() {
-	var (
-		addr      = flag.String("addr", ":8080", "listen address")
-		relations = flag.String("relations", "hotels:50000,restaurants:200000",
-			"comma-separated name:numpoints pairs")
-		capacity = flag.Int("capacity", 256, "index block capacity")
-		maxK     = flag.Int("maxk", 1000, "largest catalog-maintained k")
-		sample   = flag.Int("sample", 200, "catalog-merge sample size")
-		gridSize = flag.Int("grid", 10, "virtual-grid dimension")
-		seed     = flag.Int64("seed", 1, "dataset seed base")
-	)
-	flag.Parse()
+func main() { os.Exit(run(os.Args[1:], os.Stdout)) }
 
-	trees := map[string]*index.Tree{}
-	for i, spec := range strings.Split(*relations, ",") {
+// run is main with injectable args and stdout, so tests (and the soak
+// script via the printed listen address) can drive a full daemon lifecycle
+// including the signal-triggered drain. It returns the process exit code.
+func run(args []string, stdout io.Writer) int {
+	fs := flag.NewFlagSet("knncostd", flag.ContinueOnError)
+	var (
+		addr      = fs.String("addr", ":8080", "listen address (use :0 for a random port)")
+		relations = fs.String("relations", "hotels:50000,restaurants:200000",
+			"comma-separated name:numpoints pairs")
+		capacity = fs.Int("capacity", 256, "index block capacity")
+		maxK     = fs.Int("maxk", 1000, "largest catalog-maintained k")
+		sample   = fs.Int("sample", 200, "catalog-merge sample size")
+		gridSize = fs.Int("grid", 10, "virtual-grid dimension")
+		seed     = fs.Int64("seed", 1, "dataset seed base")
+
+		estimateDeadline = fs.Duration("deadline-estimate", 5*time.Second,
+			"per-request deadline for /estimate/* and metadata routes (0 disables)")
+		costDeadline = fs.Duration("deadline-cost", 2*time.Second,
+			"per-request deadline for the expensive ground-truth /cost/* routes (0 disables)")
+		maxInFlight = fs.Int("max-in-flight", 256, "max concurrently served requests (0 disables shedding)")
+		queueLen    = fs.Int("queue", 128, "admission-queue length beyond max-in-flight")
+		retryAfter  = fs.Duration("retry-after", time.Second, "Retry-After on shed 503s")
+		drain       = fs.Duration("drain-timeout", 10*time.Second,
+			"grace period for in-flight requests on SIGINT/SIGTERM")
+		readTimeout  = fs.Duration("read-timeout", 30*time.Second, "http.Server ReadTimeout")
+		writeTimeout = fs.Duration("write-timeout", 30*time.Second, "http.Server WriteTimeout")
+		idleTimeout  = fs.Duration("idle-timeout", 120*time.Second, "http.Server IdleTimeout")
+		accessLog    = fs.Bool("access-log", true, "log one structured line per request")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	specs, err := parseRelations(*relations)
+	if err != nil {
+		log.Printf("knncostd: %v", err)
+		return 2
+	}
+
+	// Bind before building catalogs so orchestrators see liveness (and a
+	// truthful "starting" readiness) immediately; catalog construction
+	// for production-sized relations takes seconds.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Printf("knncostd: listen: %v", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "knncostd listening on %s\n", ln.Addr())
+
+	var (
+		gate    middleware.Ready
+		app     atomic.Pointer[http.Handler]
+		rootMux = http.NewServeMux()
+	)
+	rootMux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintln(w, `{"status":"ok"}`)
+	})
+	rootMux.Handle("GET /readyz", gate.Handler())
+	rootMux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		h := app.Load()
+		if h == nil {
+			w.Header().Set("Content-Type", "application/json")
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, `{"error":"starting: catalogs are still building"}`)
+			return
+		}
+		(*h).ServeHTTP(w, r)
+	})
+
+	httpSrv := &http.Server{
+		Handler:           rootMux,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       *readTimeout,
+		WriteTimeout:      *writeTimeout,
+		IdleTimeout:       *idleTimeout,
+	}
+
+	buildFailed := make(chan struct{})
+	go func() {
+		trees, err := buildTrees(specs, *capacity, *seed)
+		if err != nil {
+			log.Printf("knncostd: %v", err)
+			close(buildFailed)
+			return
+		}
+		start := time.Now()
+		srv, err := service.New(trees, service.Options{
+			MaxK:       *maxK,
+			SampleSize: *sample,
+			GridSize:   *gridSize,
+		})
+		if err != nil {
+			log.Printf("knncostd: %v", err)
+			close(buildFailed)
+			return
+		}
+		log.Printf("catalogs built in %v", time.Since(start).Round(time.Millisecond))
+		wrapped, _ := middleware.Wrap(srv, middleware.Config{
+			EstimateDeadline: *estimateDeadline,
+			CostDeadline:     *costDeadline,
+			MaxInFlight:      *maxInFlight,
+			QueueLen:         *queueLen,
+			RetryAfter:       *retryAfter,
+			AccessLog:        *accessLog,
+		})
+		app.Store(&wrapped)
+		gate.SetReady()
+		log.Printf("ready: serving %d relations", len(trees))
+	}()
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	sigCtx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	select {
+	case <-buildFailed:
+		httpSrv.Close()
+		return 1
+	case err := <-serveErr:
+		// Serve only returns before shutdown on a fatal listener error.
+		log.Printf("knncostd: serve: %v", err)
+		return 1
+	case <-sigCtx.Done():
+	}
+
+	// Graceful drain: stop advertising readiness, then give in-flight
+	// requests the grace period. ErrServerClosed is the expected outcome
+	// of a clean shutdown, not a failure.
+	log.Printf("signal received, draining (timeout %v)", *drain)
+	gate.SetDraining()
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		log.Printf("knncostd: drain timeout exceeded: %v", err)
+		httpSrv.Close()
+		return 1
+	}
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("knncostd: serve: %v", err)
+		return 1
+	}
+	log.Printf("drained cleanly")
+	return 0
+}
+
+type relationSpec struct {
+	name string
+	n    int
+}
+
+func parseRelations(s string) ([]relationSpec, error) {
+	var specs []relationSpec
+	for _, spec := range strings.Split(s, ",") {
 		name, countStr, ok := strings.Cut(strings.TrimSpace(spec), ":")
 		if !ok {
-			log.Fatalf("knncostd: bad relation spec %q (want name:numpoints)", spec)
+			return nil, fmt.Errorf("bad relation spec %q (want name:numpoints)", spec)
 		}
 		n, err := strconv.Atoi(countStr)
 		if err != nil || n < 1 {
-			log.Fatalf("knncostd: bad point count in %q", spec)
+			return nil, fmt.Errorf("bad point count in %q", spec)
 		}
-		pts := datagen.OSMLike(n, *seed+int64(i))
-		trees[name] = quadtree.Build(pts, quadtree.Options{
-			Capacity: *capacity,
+		specs = append(specs, relationSpec{name: name, n: n})
+	}
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("no relations given")
+	}
+	return specs, nil
+}
+
+func buildTrees(specs []relationSpec, capacity int, seed int64) (map[string]*index.Tree, error) {
+	trees := map[string]*index.Tree{}
+	for i, spec := range specs {
+		pts := datagen.OSMLike(spec.n, seed+int64(i))
+		trees[spec.name] = quadtree.Build(pts, quadtree.Options{
+			Capacity: capacity,
 			Bounds:   datagen.WorldBounds,
 		}).Index()
-		log.Printf("indexed %s: %d points, %d blocks", name, n, trees[name].NumBlocks())
+		log.Printf("indexed %s: %d points, %d blocks", spec.name, spec.n, trees[spec.name].NumBlocks())
 	}
-
-	start := time.Now()
-	srv, err := service.New(trees, service.Options{
-		MaxK:       *maxK,
-		SampleSize: *sample,
-		GridSize:   *gridSize,
-	})
-	if err != nil {
-		log.Fatalf("knncostd: %v", err)
-	}
-	log.Printf("catalogs built in %v", time.Since(start).Round(time.Millisecond))
-
-	httpSrv := &http.Server{
-		Addr:              *addr,
-		Handler:           srv,
-		ReadHeaderTimeout: 5 * time.Second,
-	}
-	fmt.Printf("knncostd listening on %s\n", *addr)
-	log.Fatal(httpSrv.ListenAndServe())
+	return trees, nil
 }

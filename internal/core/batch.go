@@ -1,6 +1,10 @@
 package core
 
-import "knncost/internal/geom"
+import (
+	"context"
+
+	"knncost/internal/geom"
+)
 
 // SelectQuery is one k-NN-Select cost question in a batch: the query point
 // and the number of neighbors.
@@ -34,4 +38,26 @@ func EstimateSelectBatch(est SelectEstimator, queries []SelectQuery, parallelism
 		return nil
 	})
 	return results
+}
+
+// EstimateSelectBatchContext is EstimateSelectBatch with cancellation: the
+// context is checked before every query, so a large batch stops promptly on
+// deadline or cancel instead of finishing tens of thousands of estimates
+// nobody will read. On cancellation it returns the context's error; the
+// results slice is partial (unanswered slots are zero-valued) and must not
+// be served. Per-query estimator failures still do not fail the batch.
+func EstimateSelectBatchContext(ctx context.Context, est SelectEstimator, queries []SelectQuery, parallelism int) ([]SelectResult, error) {
+	results := make([]SelectResult, len(queries))
+	err := forEachIndexed(len(queries), parallelism, func(i int) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		blocks, err := est.EstimateSelect(queries[i].Point, queries[i].K)
+		results[i] = SelectResult{Blocks: blocks, Err: err}
+		return nil
+	})
+	if err != nil {
+		return results, err
+	}
+	return results, nil
 }

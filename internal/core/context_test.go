@@ -1,0 +1,67 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"knncost/internal/geom"
+)
+
+func TestBatchContextMatchesPlainBatch(t *testing.T) {
+	s, queries := batchFixture(t)
+	want := EstimateSelectBatch(s, queries, 1)
+	for _, parallelism := range []int{0, 1, 4} {
+		got, err := EstimateSelectBatchContext(context.Background(), s, queries, parallelism)
+		if err != nil {
+			t.Fatalf("p=%d: %v", parallelism, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("p=%d: %d results, want %d", parallelism, len(got), len(want))
+		}
+		for i := range want {
+			if got[i].Blocks != want[i].Blocks || (got[i].Err == nil) != (want[i].Err == nil) {
+				t.Fatalf("p=%d query %d: %+v != %+v", parallelism, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestBatchContextCancelled(t *testing.T) {
+	s, queries := batchFixture(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, parallelism := range []int{1, 4} {
+		_, err := EstimateSelectBatchContext(ctx, s, queries, parallelism)
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("p=%d: err = %v, want context.Canceled", parallelism, err)
+		}
+	}
+}
+
+// Cancelling mid-batch stops the fan-out promptly: a batch of slow
+// estimator calls must not run every remaining query after the cancel.
+func TestBatchContextStopsEarly(t *testing.T) {
+	s, queries := batchFixture(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	ran := 0
+	counting := estimatorFunc(func(p geom.Point, k int) (float64, error) {
+		ran++
+		if ran == 3 {
+			cancel()
+		}
+		return s.EstimateSelect(p, k)
+	})
+	_, err := EstimateSelectBatchContext(ctx, counting, queries, 1)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran >= len(queries) {
+		t.Fatalf("cancel did not stop the batch: ran all %d queries", ran)
+	}
+}
+
+// estimatorFunc adapts a function to SelectEstimator for tests.
+type estimatorFunc func(geom.Point, int) (float64, error)
+
+func (f estimatorFunc) EstimateSelect(p geom.Point, k int) (float64, error) { return f(p, k) }

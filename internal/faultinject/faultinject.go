@@ -1,0 +1,202 @@
+// Package faultinject is a deterministic fault-injection harness for the
+// estimation service. Production robustness claims — "a panicking handler
+// does not kill the process", "a slow ground-truth computation is cut off at
+// its deadline", "overload sheds instead of queueing without bound" — are
+// only claims until a test can make the fault happen on demand. This
+// package makes faults happen on demand, reproducibly:
+//
+//   - a Script decides the Fault for the i-th operation (explicit scripts
+//     for exact scenarios, Seeded for randomized-but-reproducible soak
+//     mixes);
+//   - Middleware applies the script to an http.Handler, counting requests;
+//   - Estimator applies it to a core.SelectEstimator, counting estimates.
+//
+// Injection is strictly additive: a zero Fault leaves the wrapped operation
+// untouched, so a scripted component with an all-zero script is
+// behaviourally identical to the bare component.
+package faultinject
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"knncost/internal/core"
+	"knncost/internal/geom"
+)
+
+// Fault is what happens to one operation before its real work runs. Fields
+// compose: latency is injected first, then a panic, then an error. The zero
+// Fault injects nothing.
+type Fault struct {
+	// Latency is slept before the operation, observing the operation's
+	// context so an injected delay still respects deadlines.
+	Latency time.Duration
+	// Panic, when non-nil, is raised with panic(Panic).
+	Panic any
+	// Err, when non-nil, fails the operation without running it.
+	// Middleware maps it to a JSON 500; Estimator returns it.
+	Err error
+}
+
+// IsZero reports whether f injects nothing.
+func (f Fault) IsZero() bool { return f.Latency == 0 && f.Panic == nil && f.Err == nil }
+
+// Script decides the fault injected into the i-th operation (0-based, in
+// admission order). Scripts must be safe for concurrent use when the
+// wrapped component is used concurrently; pure functions over i are.
+type Script func(i int) Fault
+
+// None is the empty script: no faults, ever.
+func None() Script { return func(int) Fault { return Fault{} } }
+
+// Once injects f into exactly the n-th operation.
+func Once(n int, f Fault) Script {
+	return func(i int) Fault {
+		if i == n {
+			return f
+		}
+		return Fault{}
+	}
+}
+
+// Always injects f into every operation.
+func Always(f Fault) Script { return func(int) Fault { return f } }
+
+// Profile weights the fault mix of a Seeded script. Probabilities are per
+// operation and checked in order (latency, panic, error); they need not sum
+// to one.
+type Profile struct {
+	PLatency float64
+	Latency  time.Duration
+	PPanic   float64
+	PErr     float64
+	Err      error
+}
+
+// Seeded builds a reproducible randomized script: the same seed and profile
+// produce the same fault for the same operation ordinal, regardless of
+// timing, so a concurrent soak run that fails can be replayed. The decision
+// for ordinal i is precomputed lazily and cached under a lock (the rng
+// itself is not safe for concurrent use).
+func Seeded(seed int64, p Profile) Script {
+	var (
+		mu      sync.Mutex
+		rng     = rand.New(rand.NewSource(seed))
+		decided []Fault
+	)
+	decide := func() Fault {
+		roll := rng.Float64()
+		switch {
+		case roll < p.PLatency:
+			return Fault{Latency: p.Latency}
+		case roll < p.PLatency+p.PPanic:
+			return Fault{Panic: "faultinject: scripted panic"}
+		case roll < p.PLatency+p.PPanic+p.PErr:
+			return Fault{Err: p.Err}
+		default:
+			return Fault{}
+		}
+	}
+	return func(i int) Fault {
+		mu.Lock()
+		defer mu.Unlock()
+		for len(decided) <= i {
+			decided = append(decided, decide())
+		}
+		return decided[i]
+	}
+}
+
+// sleep waits for d or until ctx is done, whichever comes first, so
+// injected latency does not outlive the request it was injected into.
+func sleep(ctx context.Context, d time.Duration) error {
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// apply runs f against ctx: sleeps, panics, or returns f.Err. A latency
+// fault cut short by the context returns the context's error.
+func apply(ctx context.Context, f Fault) error {
+	if f.Latency > 0 {
+		if err := sleep(ctx, f.Latency); err != nil {
+			return err
+		}
+	}
+	if f.Panic != nil {
+		panic(f.Panic)
+	}
+	return f.Err
+}
+
+// Middleware injects the scripted fault ahead of every request: latency is
+// slept under the request context, a scripted panic unwinds into whatever
+// recovery middleware sits above (that is the point), and a scripted error
+// is reported as a JSON 500 without invoking the wrapped handler.
+func Middleware(s Script) func(http.Handler) http.Handler {
+	var n atomic.Int64
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			f := s(int(n.Add(1)) - 1)
+			if err := apply(r.Context(), f); err != nil {
+				w.Header().Set("Content-Type", "application/json")
+				w.WriteHeader(http.StatusInternalServerError)
+				fmt.Fprintf(w, "{\"error\":%s}\n", strconv.Quote("injected: "+err.Error()))
+				return
+			}
+			next.ServeHTTP(w, r)
+		})
+	}
+}
+
+// Estimator wraps a select estimator so that the i-th EstimateSelect call
+// first suffers the scripted fault. A latency fault here is not cancellable
+// (EstimateSelect carries no context) — which is exactly the property the
+// batch deadline tests rely on to prove that cancellation is detected
+// between queries.
+func Estimator(inner core.SelectEstimator, s Script) core.SelectEstimator {
+	return &faultEstimator{inner: inner, script: s}
+}
+
+type faultEstimator struct {
+	inner  core.SelectEstimator
+	script Script
+	n      atomic.Int64
+}
+
+func (e *faultEstimator) EstimateSelect(q geom.Point, k int) (float64, error) {
+	f := e.script(int(e.n.Add(1)) - 1)
+	if err := apply(context.Background(), f); err != nil {
+		return 0, fmt.Errorf("injected: %w", err)
+	}
+	return e.inner.EstimateSelect(q, k)
+}
+
+// Busy occupies the caller for total, checking ctx every step — the shape
+// of a long block-scan loop with cancellation checks at block granularity.
+// It returns ctx.Err() as soon as the context dies, nil after total. Tests
+// substitute it for the ground-truth cost functions to make "slow request"
+// a deterministic condition rather than a big-dataset accident.
+func Busy(ctx context.Context, step, total time.Duration) error {
+	if step <= 0 {
+		step = time.Millisecond
+	}
+	deadline := time.Now().Add(total)
+	for time.Now().Before(deadline) {
+		if err := sleep(ctx, step); err != nil {
+			return err
+		}
+	}
+	return ctx.Err()
+}

@@ -13,6 +13,8 @@
 package knn
 
 import (
+	"context"
+
 	"knncost/internal/geom"
 	"knncost/internal/index"
 	"knncost/internal/pqueue"
@@ -78,15 +80,35 @@ func (b *Browser) Reset(ix *index.Tree, q geom.Point) {
 // Next returns the next nearest neighbor of the query point. The boolean is
 // false when the index is exhausted.
 func (b *Browser) Next() (Neighbor, bool) {
+	n, ok, _ := b.next(nil)
+	return n, ok
+}
+
+// NextContext is Next with cancellation: the context is checked once per
+// loop iteration — i.e. at block-scan granularity, since each iteration
+// scans at most one block — so a traversal over a large index returns
+// promptly after a deadline or cancel instead of running to completion.
+func (b *Browser) NextContext(ctx context.Context) (Neighbor, bool, error) {
+	return b.next(ctx)
+}
+
+// next implements Next; a nil ctx skips the cancellation checks entirely so
+// the ground-truth hot path stays branch-predictable and allocation-free.
+func (b *Browser) next(ctx context.Context) (Neighbor, bool, error) {
 	for {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return Neighbor{}, false, err
+			}
+		}
 		tupleDist, haveTuple := b.tuples.PeekPriority()
 		blockDist, haveBlock := b.scan.PeekDist()
 		switch {
 		case !haveTuple && !haveBlock:
-			return Neighbor{}, false
+			return Neighbor{}, false, nil
 		case haveTuple && (!haveBlock || tupleDist <= blockDist):
 			p, _ := b.tuples.Pop()
-			return Neighbor{Point: p, Dist: tupleDist}, true
+			return Neighbor{Point: p, Dist: tupleDist}, true, nil
 		default:
 			blk, _, ok := b.scan.Next()
 			if !ok {
@@ -133,6 +155,25 @@ func SelectCost(ix *index.Tree, q geom.Point, k int) int {
 		}
 	}
 	return b.stats.BlocksScanned
+}
+
+// SelectCostContext is SelectCost with cancellation: the context is checked
+// at block-scan granularity, so a query over a huge index (or with a huge k)
+// stops promptly when its deadline expires. On cancellation it returns the
+// context's error and the cost accumulated so far — the partial value is
+// useful for logging but must not be reported as a ground truth.
+func SelectCostContext(ctx context.Context, ix *index.Tree, q geom.Point, k int) (int, error) {
+	b := NewBrowser(ix, q)
+	for i := 0; i < k; i++ {
+		_, ok, err := b.next(ctx)
+		if err != nil {
+			return b.stats.BlocksScanned, err
+		}
+		if !ok {
+			break
+		}
+	}
+	return b.stats.BlocksScanned, nil
 }
 
 // SelectDF answers a k-NN-Select with the branch-and-bound algorithm of

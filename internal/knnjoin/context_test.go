@@ -1,0 +1,43 @@
+package knnjoin
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"knncost/internal/geom"
+)
+
+func TestCostContextMatchesCost(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	bounds := geom.NewRect(0, 0, 100, 100)
+	outer := buildIx(randPoints(rng, 1500, bounds), bounds, 32)
+	inner := buildIx(randPoints(rng, 2500, bounds), bounds, 32)
+	for _, k := range []int{1, 5, 25, 100} {
+		want := Cost(outer, inner, k)
+		got, err := CostContext(context.Background(), outer, inner, k)
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if got != want {
+			t.Fatalf("k=%d: context cost %d != plain cost %d", k, got, want)
+		}
+	}
+}
+
+func TestCostContextCancelled(t *testing.T) {
+	rng := rand.New(rand.NewSource(92))
+	bounds := geom.NewRect(0, 0, 100, 100)
+	outer := buildIx(randPoints(rng, 1500, bounds), bounds, 32)
+	inner := buildIx(randPoints(rng, 2500, bounds), bounds, 32)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cost, err := CostContext(ctx, outer, inner, 10)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if cost != 0 {
+		t.Fatalf("cancelled before any locality but partial cost = %d", cost)
+	}
+}

@@ -11,6 +11,8 @@
 package knnjoin
 
 import (
+	"context"
+
 	"knncost/internal/geom"
 	"knncost/internal/index"
 	"knncost/internal/knn"
@@ -76,6 +78,26 @@ func Cost(outer, inner *index.Tree, k int) int {
 		total += LocalitySize(inner, b.Bounds, k)
 	}
 	return total
+}
+
+// CostContext is Cost with cancellation: the context is checked before each
+// outer block's locality computation — block-scan granularity on the outer
+// side, which bounds the time to react to a cancel by one locality scan.
+// The full locality computation of Sankaranarayanan et al.'s join is our
+// most expensive request path, so this is the variant the HTTP service must
+// use. On cancellation it returns the context's error and the partial sum.
+func CostContext(ctx context.Context, outer, inner *index.Tree, k int) (int, error) {
+	total := 0
+	for _, b := range outer.Blocks() {
+		if err := ctx.Err(); err != nil {
+			return total, err
+		}
+		if b.Count == 0 {
+			continue
+		}
+		total += LocalitySize(inner, b.Bounds, k)
+	}
+	return total, nil
 }
 
 // Pair is one result tuple of a k-NN-Join: an outer point and one of its k

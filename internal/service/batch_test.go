@@ -35,8 +35,8 @@ func TestEstimateSelectBatchMatchesSingles(t *testing.T) {
 	queries := make([]BatchSelectQuery, 40)
 	for i := range queries {
 		queries[i] = BatchSelectQuery{
-			X: -20 + rng.Float64() * 60,
-			Y: 20 + rng.Float64() * 40,
+			X: -20 + rng.Float64()*60,
+			Y: 20 + rng.Float64()*40,
 			K: 1 + rng.Intn(199),
 		}
 	}

@@ -1,0 +1,381 @@
+// Package middleware hardens the estimation service for production traffic.
+// The paper motivates cost estimation for "location-based services that
+// serve multiple queries at very high rates"; at those rates a single
+// panicking handler, one slow ground-truth computation, or a burst beyond
+// capacity must degrade the service, not destroy it. This package provides
+// the standard robustness layers as composable http.Handler wrappers:
+//
+//   - Recover: converts handler panics into JSON 500s and logs the stack;
+//     the process survives.
+//   - Deadlines: attaches a per-request context deadline chosen by path
+//     prefix (stricter for the expensive ground-truth /cost/* routes than
+//     for the microsecond /estimate/* routes), so cancellation propagates
+//     into the block-scan loops of internal/knn and internal/knnjoin.
+//   - Limiter: bounds concurrent requests with a short admission queue and
+//     sheds excess load with 503 + Retry-After instead of queueing without
+//     bound.
+//   - RequestID + AccessLog: injects a request ID and emits one structured
+//     line per request (method, path, status, bytes, duration, id).
+//   - Ready: a liveness/readiness gate backing a /readyz endpoint that is
+//     503 while catalogs build and during graceful drain.
+//
+// Wrap composes them in the canonical order. The middlewares are generic
+// over http.Handler and usable by any server; cmd/knncostd and the
+// fault-injection tests share the exact same composition.
+package middleware
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net/http"
+	"runtime/debug"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// Middleware wraps an http.Handler with one robustness concern.
+type Middleware func(http.Handler) http.Handler
+
+// Chain applies mws to h so that the first middleware is the outermost:
+// Chain(h, a, b) serves a(b(h)).
+func Chain(h http.Handler, mws ...Middleware) http.Handler {
+	for i := len(mws) - 1; i >= 0; i-- {
+		h = mws[i](h)
+	}
+	return h
+}
+
+// Config collects the knobs of the canonical middleware stack built by Wrap.
+type Config struct {
+	// Logger receives panic stacks and access lines. Nil means the
+	// standard logger.
+	Logger *log.Logger
+	// EstimateDeadline bounds /estimate/* requests (and any path without
+	// a more specific rule). Zero disables the deadline.
+	EstimateDeadline time.Duration
+	// CostDeadline bounds the expensive ground-truth /cost/* requests.
+	// It is typically stricter than EstimateDeadline: executing the full
+	// distance-browsing or locality computation is the one thing a loaded
+	// server must not let run away. Zero disables the deadline.
+	CostDeadline time.Duration
+	// MaxInFlight bounds concurrently served requests. Zero disables
+	// load shedding.
+	MaxInFlight int
+	// QueueLen is the admission-queue length on top of MaxInFlight;
+	// arrivals beyond MaxInFlight+QueueLen are shed with 503.
+	QueueLen int
+	// RetryAfter is the value of the Retry-After header on shed
+	// responses. Zero means 1 second.
+	RetryAfter time.Duration
+	// AccessLog enables the per-request log line.
+	AccessLog bool
+}
+
+func (c Config) logger() *log.Logger {
+	if c.Logger != nil {
+		return c.Logger
+	}
+	return log.Default()
+}
+
+// Wrap composes the canonical production stack around h:
+//
+//	RequestID → AccessLog → Recover → Limiter → Deadlines → h
+//
+// Shedding happens before the deadline clock starts (a queued request
+// should not consume its compute budget while waiting for admission), and
+// Recover sits outside both so a panic anywhere below is converted into a
+// JSON 500. It returns the shared Limiter so callers can observe in-flight
+// and queued counts (nil when MaxInFlight is zero).
+func Wrap(h http.Handler, cfg Config) (http.Handler, *Limiter) {
+	mws := []Middleware{RequestID()}
+	if cfg.AccessLog {
+		mws = append(mws, AccessLog(cfg.logger()))
+	}
+	mws = append(mws, Recover(cfg.logger()))
+	var lim *Limiter
+	if cfg.MaxInFlight > 0 {
+		lim = NewLimiter(cfg.MaxInFlight, cfg.QueueLen, cfg.RetryAfter)
+		mws = append(mws, lim.Middleware())
+	}
+	if cfg.EstimateDeadline > 0 || cfg.CostDeadline > 0 {
+		mws = append(mws, Deadlines(cfg.EstimateDeadline, map[string]time.Duration{
+			"/cost/": cfg.CostDeadline,
+		}))
+	}
+	return Chain(h, mws...), lim
+}
+
+// --- request IDs -----------------------------------------------------------
+
+type ctxKey int
+
+const requestIDKey ctxKey = 0
+
+// idCounter makes request IDs unique within a process.
+var idCounter atomic.Uint64
+
+// GetRequestID returns the request ID injected by RequestID, or "" when the
+// middleware is not installed.
+func GetRequestID(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey).(string)
+	return id
+}
+
+// RequestID injects a unique request ID into the context and echoes it in
+// the X-Request-ID response header. An ID supplied by the client in
+// X-Request-ID is honored, so IDs can follow a request across services.
+func RequestID() Middleware {
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			id := r.Header.Get("X-Request-ID")
+			if id == "" || len(id) > 64 {
+				id = fmt.Sprintf("req-%06d", idCounter.Add(1))
+			}
+			w.Header().Set("X-Request-ID", id)
+			next.ServeHTTP(w, r.WithContext(context.WithValue(r.Context(), requestIDKey, id)))
+		})
+	}
+}
+
+// --- access logging --------------------------------------------------------
+
+// statusWriter records the status code and byte count written through it so
+// AccessLog and Recover can observe the response.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	if sw.status == 0 {
+		sw.status = code
+	}
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+func (sw *statusWriter) Write(p []byte) (int, error) {
+	if sw.status == 0 {
+		sw.status = http.StatusOK
+	}
+	n, err := sw.ResponseWriter.Write(p)
+	sw.bytes += n
+	return n, err
+}
+
+// Flush forwards to the underlying writer when it supports flushing, so the
+// wrapper does not hide streaming capability.
+func (sw *statusWriter) Flush() {
+	if f, ok := sw.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// AccessLog emits one structured line per request: method, path, status,
+// response bytes, duration and request ID.
+func AccessLog(logger *log.Logger) Middleware {
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			sw := &statusWriter{ResponseWriter: w}
+			start := time.Now()
+			next.ServeHTTP(sw, r)
+			status := sw.status
+			if status == 0 {
+				status = http.StatusOK
+			}
+			logger.Printf("access method=%s path=%s status=%d bytes=%d dur=%s id=%s",
+				r.Method, r.URL.Path, status, sw.bytes,
+				time.Since(start).Round(time.Microsecond), GetRequestID(r.Context()))
+		})
+	}
+}
+
+// --- panic recovery --------------------------------------------------------
+
+// Recover converts a panic below it into a JSON 500 (when the response has
+// not started) and logs the panic value with a stack trace; the connection's
+// goroutine — and therefore the process — keeps serving. http.ErrAbortHandler
+// is re-raised as net/http's documented way to abort a response.
+func Recover(logger *log.Logger) Middleware {
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			sw := &statusWriter{ResponseWriter: w}
+			defer func() {
+				rec := recover()
+				if rec == nil {
+					return
+				}
+				if rec == http.ErrAbortHandler {
+					panic(rec)
+				}
+				logger.Printf("panic serving %s %s (id=%s): %v\n%s",
+					r.Method, r.URL.Path, GetRequestID(r.Context()), rec, debug.Stack())
+				if sw.status == 0 {
+					w.Header().Set("Content-Type", "application/json")
+					w.WriteHeader(http.StatusInternalServerError)
+					fmt.Fprintf(w, "{\"error\":%s}\n", strconv.Quote(fmt.Sprintf("internal error: %v", rec)))
+				}
+			}()
+			next.ServeHTTP(sw, r)
+		})
+	}
+}
+
+// --- per-route deadlines ---------------------------------------------------
+
+// Deadlines attaches a context deadline to every request: the duration of
+// the longest matching path prefix in rules, or def when none matches. A
+// zero duration (in either position) leaves the request without a deadline.
+// Handlers below must propagate r.Context() into their work for the
+// deadline to have teeth; see knn.SelectCostContext and friends.
+func Deadlines(def time.Duration, rules map[string]time.Duration) Middleware {
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			d := def
+			matched := -1
+			for prefix, pd := range rules {
+				if strings.HasPrefix(r.URL.Path, prefix) && len(prefix) > matched {
+					d, matched = pd, len(prefix)
+				}
+			}
+			if d <= 0 {
+				next.ServeHTTP(w, r)
+				return
+			}
+			ctx, cancel := context.WithTimeout(r.Context(), d)
+			defer cancel()
+			next.ServeHTTP(w, r.WithContext(ctx))
+		})
+	}
+}
+
+// --- load shedding ---------------------------------------------------------
+
+// Limiter bounds concurrent requests at maxInFlight, admits up to queueLen
+// more into a waiting queue, and sheds everything beyond that with
+// 503 Service Unavailable + Retry-After. Queued requests whose context is
+// cancelled (client gone, deadline hit upstream) leave the queue with a 503
+// rather than occupying a slot for a reply nobody will read.
+type Limiter struct {
+	sem        chan struct{}
+	queueLen   int64
+	queued     atomic.Int64
+	inFlight   atomic.Int64
+	shed       atomic.Int64
+	retryAfter string
+}
+
+// NewLimiter creates a Limiter. retryAfter <= 0 defaults to one second
+// (Retry-After is expressed in whole seconds and rounded up).
+func NewLimiter(maxInFlight, queueLen int, retryAfter time.Duration) *Limiter {
+	if maxInFlight < 1 {
+		maxInFlight = 1
+	}
+	if queueLen < 0 {
+		queueLen = 0
+	}
+	secs := int(retryAfter.Round(time.Second) / time.Second)
+	if retryAfter > 0 && secs < 1 {
+		secs = 1
+	}
+	if retryAfter <= 0 {
+		secs = 1
+	}
+	return &Limiter{
+		sem:        make(chan struct{}, maxInFlight),
+		queueLen:   int64(queueLen),
+		retryAfter: strconv.Itoa(secs),
+	}
+}
+
+// InFlight returns the number of requests currently being served.
+func (l *Limiter) InFlight() int { return int(l.inFlight.Load()) }
+
+// Queued returns the number of requests waiting for admission.
+func (l *Limiter) Queued() int { return int(l.queued.Load()) }
+
+// Shed returns the total number of requests rejected with 503 so far.
+func (l *Limiter) Shed() int { return int(l.shed.Load()) }
+
+// Middleware returns the wrapping function applying l.
+func (l *Limiter) Middleware() Middleware {
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			select {
+			case l.sem <- struct{}{}: // fast path: a slot is free
+			default:
+				// Queue, unless the queue is already full.
+				if l.queued.Add(1) > l.queueLen {
+					l.queued.Add(-1)
+					l.reject(w)
+					return
+				}
+				select {
+				case l.sem <- struct{}{}:
+					l.queued.Add(-1)
+				case <-r.Context().Done():
+					l.queued.Add(-1)
+					l.reject(w)
+					return
+				}
+			}
+			l.inFlight.Add(1)
+			defer func() {
+				l.inFlight.Add(-1)
+				<-l.sem
+			}()
+			next.ServeHTTP(w, r)
+		})
+	}
+}
+
+func (l *Limiter) reject(w http.ResponseWriter) {
+	l.shed.Add(1)
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Retry-After", l.retryAfter)
+	w.WriteHeader(http.StatusServiceUnavailable)
+	fmt.Fprintln(w, `{"error":"server overloaded, retry later"}`)
+}
+
+// --- readiness gate --------------------------------------------------------
+
+// Ready is the tri-state readiness gate behind a /readyz endpoint. A fresh
+// Ready reports "starting" (503) so orchestrators do not route traffic while
+// catalogs build; SetReady flips it to 200; SetDraining flips it back to 503
+// for the graceful-shutdown window so load balancers stop sending new work
+// before the listener closes. Liveness (/healthz) is separate and should be
+// 200 for the whole lifetime of the process.
+type Ready struct {
+	state atomic.Int32 // 0 starting, 1 ready, 2 draining
+}
+
+// SetReady marks the gate ready; /readyz starts returning 200.
+func (g *Ready) SetReady() { g.state.Store(1) }
+
+// SetDraining marks the gate draining; /readyz returns 503 again.
+func (g *Ready) SetDraining() { g.state.Store(2) }
+
+// IsReady reports whether the gate is in the ready state.
+func (g *Ready) IsReady() bool { return g.state.Load() == 1 }
+
+// Handler serves the /readyz response for the gate's current state.
+func (g *Ready) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		switch g.state.Load() {
+		case 1:
+			w.WriteHeader(http.StatusOK)
+			fmt.Fprintln(w, `{"status":"ready"}`)
+		case 2:
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, `{"status":"draining"}`)
+		default:
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, `{"status":"starting"}`)
+		}
+	})
+}

@@ -1,0 +1,338 @@
+package middleware
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func okHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+}
+
+func TestChainOrder(t *testing.T) {
+	var order []string
+	mk := func(name string) Middleware {
+		return func(next http.Handler) http.Handler {
+			return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				order = append(order, name)
+				next.ServeHTTP(w, r)
+			})
+		}
+	}
+	h := Chain(okHandler(), mk("outer"), mk("inner"))
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/", nil))
+	if len(order) != 2 || order[0] != "outer" || order[1] != "inner" {
+		t.Fatalf("order = %v, want [outer inner]", order)
+	}
+}
+
+func TestRecoverConvertsPanicToJSON500(t *testing.T) {
+	var buf strings.Builder
+	logger := log.New(&buf, "", 0)
+	h := Recover(logger)(http.HandlerFunc(func(http.ResponseWriter, *http.Request) {
+		panic("boom")
+	}))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/estimate/select", nil))
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("status %d, want 500", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("Content-Type %q", ct)
+	}
+	var body map[string]string
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatalf("body %q is not JSON: %v", rec.Body.String(), err)
+	}
+	if !strings.Contains(body["error"], "boom") {
+		t.Fatalf("error %q does not mention panic value", body["error"])
+	}
+	if !strings.Contains(buf.String(), "boom") || !strings.Contains(buf.String(), "middleware_test.go") {
+		t.Fatalf("log %q missing panic value or stack", buf.String())
+	}
+}
+
+// A panic after the response started cannot be turned into a 500; Recover
+// must still swallow it (and log) rather than kill the serve goroutine
+// un-notified.
+func TestRecoverAfterHeadersWritten(t *testing.T) {
+	var buf strings.Builder
+	h := Recover(log.New(&buf, "", 0))(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		panic("late boom")
+	}))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d, want the already-written 200", rec.Code)
+	}
+	if !strings.Contains(buf.String(), "late boom") {
+		t.Fatalf("log %q missing panic value", buf.String())
+	}
+}
+
+func TestRecoverPassesAbortHandler(t *testing.T) {
+	h := Recover(log.New(io.Discard, "", 0))(http.HandlerFunc(func(http.ResponseWriter, *http.Request) {
+		panic(http.ErrAbortHandler)
+	}))
+	defer func() {
+		if recover() != http.ErrAbortHandler {
+			t.Fatal("ErrAbortHandler was not re-raised")
+		}
+	}()
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/", nil))
+}
+
+func TestRequestIDInjectsAndEchoes(t *testing.T) {
+	var got string
+	h := RequestID()(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		got = GetRequestID(r.Context())
+	}))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/", nil))
+	if got == "" {
+		t.Fatal("no request ID in context")
+	}
+	if hdr := rec.Header().Get("X-Request-ID"); hdr != got {
+		t.Fatalf("header %q != context %q", hdr, got)
+	}
+	// Client-supplied IDs are honored.
+	req := httptest.NewRequest("GET", "/", nil)
+	req.Header.Set("X-Request-ID", "client-7")
+	h.ServeHTTP(httptest.NewRecorder(), req)
+	if got != "client-7" {
+		t.Fatalf("client ID not honored: %q", got)
+	}
+}
+
+func TestAccessLogLine(t *testing.T) {
+	var buf strings.Builder
+	h := Chain(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusTeapot)
+		fmt.Fprint(w, "short")
+	}), RequestID(), AccessLog(log.New(&buf, "", 0)))
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/estimate/select?k=5", nil))
+	line := buf.String()
+	for _, want := range []string{"method=GET", "path=/estimate/select", "status=418", "bytes=5", "id=req-"} {
+		if !strings.Contains(line, want) {
+			t.Errorf("access line %q missing %q", line, want)
+		}
+	}
+}
+
+func TestDeadlinesByPrefix(t *testing.T) {
+	var deadlines sync.Map
+	h := Deadlines(time.Hour, map[string]time.Duration{
+		"/cost/":      time.Millisecond,
+		"/cost/never": 0,
+	})(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		d, ok := r.Context().Deadline()
+		if !ok {
+			deadlines.Store(r.URL.Path, time.Duration(0))
+			return
+		}
+		deadlines.Store(r.URL.Path, time.Until(d))
+	}))
+	for _, path := range []string{"/estimate/select", "/cost/join", "/cost/never/mind"} {
+		h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", path, nil))
+	}
+	if v, _ := deadlines.Load("/estimate/select"); v.(time.Duration) <= time.Millisecond {
+		t.Errorf("/estimate/select got the strict deadline: %v", v)
+	}
+	if v, _ := deadlines.Load("/cost/join"); v.(time.Duration) > time.Millisecond {
+		t.Errorf("/cost/join deadline too lax: %v", v)
+	}
+	// The longest matching prefix wins; zero disables the deadline.
+	if v, _ := deadlines.Load("/cost/never/mind"); v.(time.Duration) != 0 {
+		t.Errorf("/cost/never/mind should have no deadline, got %v", v)
+	}
+}
+
+// Exact shed accounting: with maxInFlight=2 and queueLen=2, four concurrent
+// requests are admitted or queued and every further arrival is shed with a
+// 503 carrying Retry-After.
+func TestLimiterShedsExactly(t *testing.T) {
+	const maxInFlight, queueLen, extra = 2, 2, 3
+	release := make(chan struct{})
+	entered := make(chan struct{}, maxInFlight+queueLen)
+	lim := NewLimiter(maxInFlight, queueLen, 2*time.Second)
+	h := lim.Middleware()(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		entered <- struct{}{}
+		<-release
+		fmt.Fprintln(w, "ok")
+	}))
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	type result struct {
+		status     int
+		retryAfter string
+	}
+	results := make(chan result, maxInFlight+queueLen+extra)
+	get := func() {
+		resp, err := http.Get(srv.URL)
+		if err != nil {
+			t.Error(err)
+			results <- result{}
+			return
+		}
+		defer resp.Body.Close()
+		io.Copy(io.Discard, resp.Body)
+		results <- result{resp.StatusCode, resp.Header.Get("Retry-After")}
+	}
+
+	// Fill the in-flight slots and wait until the handlers run.
+	for i := 0; i < maxInFlight; i++ {
+		go get()
+	}
+	for i := 0; i < maxInFlight; i++ {
+		<-entered
+	}
+	// Fill the queue and wait until the limiter reports them queued.
+	for i := 0; i < queueLen; i++ {
+		go get()
+	}
+	waitFor(t, func() bool { return lim.Queued() == queueLen })
+	// Everything beyond is shed immediately.
+	for i := 0; i < extra; i++ {
+		go get()
+	}
+	var shed int
+	for i := 0; i < extra; i++ {
+		r := <-results
+		if r.status != http.StatusServiceUnavailable {
+			t.Fatalf("overload request got %d, want 503", r.status)
+		}
+		if r.retryAfter != "2" {
+			t.Fatalf("Retry-After = %q, want \"2\"", r.retryAfter)
+		}
+		shed++
+	}
+	if got := lim.Shed(); got != extra {
+		t.Fatalf("Shed() = %d, want %d", got, extra)
+	}
+	// Releasing the handlers drains queue and in-flight successfully.
+	close(release)
+	for i := 0; i < maxInFlight+queueLen; i++ {
+		if r := <-results; r.status != http.StatusOK {
+			t.Fatalf("admitted request got %d, want 200", r.status)
+		}
+	}
+	if lim.InFlight() != 0 || lim.Queued() != 0 {
+		t.Fatalf("limiter not drained: inflight=%d queued=%d", lim.InFlight(), lim.Queued())
+	}
+}
+
+// A queued request whose context dies leaves the queue with a 503 instead of
+// waiting forever.
+func TestLimiterQueueRespectsContext(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	entered := make(chan struct{}, 1)
+	lim := NewLimiter(1, 1, time.Second)
+	h := lim.Middleware()(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		select {
+		case entered <- struct{}{}:
+		default:
+		}
+		<-release
+	}))
+	// Occupy the single slot.
+	rec1 := make(chan struct{})
+	go func() {
+		defer close(rec1)
+		h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/", nil))
+	}()
+	<-entered
+	// Queue a request with an already-short deadline.
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/", nil).WithContext(ctx))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("queued+cancelled request got %d, want 503", rec.Code)
+	}
+	release <- struct{}{}
+	<-rec1
+}
+
+func TestReadyGateStates(t *testing.T) {
+	var g Ready
+	check := func(wantCode int, wantStatus string) {
+		t.Helper()
+		rec := httptest.NewRecorder()
+		g.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/readyz", nil))
+		if rec.Code != wantCode {
+			t.Fatalf("code %d, want %d", rec.Code, wantCode)
+		}
+		var body map[string]string
+		if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+			t.Fatal(err)
+		}
+		if body["status"] != wantStatus {
+			t.Fatalf("status %q, want %q", body["status"], wantStatus)
+		}
+	}
+	check(http.StatusServiceUnavailable, "starting")
+	g.SetReady()
+	if !g.IsReady() {
+		t.Fatal("IsReady after SetReady")
+	}
+	check(http.StatusOK, "ready")
+	g.SetDraining()
+	check(http.StatusServiceUnavailable, "draining")
+}
+
+func TestWrapComposesStack(t *testing.T) {
+	var buf strings.Builder
+	h, lim := Wrap(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if _, ok := r.Context().Deadline(); !ok {
+			t.Error("no deadline reached the handler")
+		}
+		if GetRequestID(r.Context()) == "" {
+			t.Error("no request ID reached the handler")
+		}
+		panic("wrapped boom")
+	}), Config{
+		Logger:           log.New(&buf, "", 0),
+		EstimateDeadline: time.Second,
+		CostDeadline:     500 * time.Millisecond,
+		MaxInFlight:      4,
+		QueueLen:         4,
+		AccessLog:        true,
+	})
+	if lim == nil {
+		t.Fatal("Wrap returned no limiter despite MaxInFlight > 0")
+	}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/estimate/select", nil))
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("status %d, want 500", rec.Code)
+	}
+	// The access line records the 500 produced by Recover.
+	if !strings.Contains(buf.String(), "status=500") {
+		t.Fatalf("access log %q missing status=500", buf.String())
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached within 5s")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -24,9 +24,15 @@
 package service
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"log"
+	"math"
+	"mime"
 	"net/http"
+	"runtime"
 	"sort"
 	"strconv"
 	"time"
@@ -142,7 +148,10 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /relations", s.handleRelations)
 	s.mux.HandleFunc("GET /estimate/select", s.handleEstimateSelect)
-	s.mux.HandleFunc("POST /estimate/select/batch", s.handleEstimateSelectBatch)
+	// The batch route owns its method dispatch (instead of a "POST ..."
+	// mux pattern) so wrong methods get a JSON 405 with an Allow header
+	// and POSTs get a Content-Type check before the body is read.
+	s.mux.HandleFunc("/estimate/select/batch", s.handleEstimateSelectBatchRoute)
 	s.mux.HandleFunc("GET /estimate/join", s.handleEstimateJoin)
 	s.mux.HandleFunc("GET /cost/select", s.handleCostSelect)
 	s.mux.HandleFunc("GET /cost/join", s.handleCostJoin)
@@ -155,12 +164,28 @@ type errorResponse struct {
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	// Encoding of the small response structs below cannot fail.
-	_ = json.NewEncoder(w).Encode(v)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// The response structs themselves always encode; a failure here
+		// is the client hanging up mid-write. One line per request, so a
+		// flood of disconnects is visible without drowning the log.
+		log.Printf("service: encoding %T response: %v", v, err)
+	}
 }
 
 func badRequest(w http.ResponseWriter, format string, args ...any) {
 	writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// writeCancelled maps a context cancellation (deadline exceeded or client
+// gone) observed inside a handler to a JSON 503 — the request was valid, the
+// server just refused to spend more time on it.
+func writeCancelled(w http.ResponseWriter, err error) {
+	msg := "request cancelled"
+	if errors.Is(err, context.DeadlineExceeded) {
+		msg = "deadline exceeded"
+	}
+	w.Header().Set("Retry-After", "1")
+	writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: msg})
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
@@ -216,6 +241,12 @@ func queryFloat(r *http.Request, name string) (float64, error) {
 	v, err := strconv.ParseFloat(r.URL.Query().Get(name), 64)
 	if err != nil {
 		return 0, fmt.Errorf("parameter %q: %w", name, err)
+	}
+	// strconv.ParseFloat happily parses "NaN" and "Inf"; neither is a
+	// coordinate, and NaN in particular poisons every distance comparison
+	// downstream.
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0, fmt.Errorf("parameter %q: must be a finite number, got %v", name, v)
 	}
 	return v, nil
 }
@@ -275,9 +306,9 @@ func (s *Server) selectEstimator(w http.ResponseWriter, rel *relation, method st
 	}
 	switch method {
 	case "staircase":
-		return rel.staircase, method, true
+		return estimatorHook(rel.staircase), method, true
 	case "density":
-		return rel.density, method, true
+		return estimatorHook(rel.density), method, true
 	default:
 		badRequest(w, "unknown select method %q (want staircase or density)", method)
 		return nil, method, false
@@ -323,6 +354,41 @@ type BatchSelectResponse struct {
 // queries) so a misbehaving client cannot exhaust server memory.
 const maxBatchBody = 1 << 20
 
+// validateBatchQueries rejects non-finite coordinates. Standard JSON cannot
+// encode NaN or Inf, so today the decoder already refuses them upstream —
+// this check pins the invariant against any future decode path (extended
+// JSON dialects, alternative content types) because a NaN poisons every
+// distance comparison it ever meets.
+func validateBatchQueries(qs []BatchSelectQuery) error {
+	for i, q := range qs {
+		if math.IsNaN(q.X) || math.IsInf(q.X, 0) || math.IsNaN(q.Y) || math.IsInf(q.Y, 0) {
+			return fmt.Errorf("queries[%d]: x and y must be finite numbers, got (%v, %v)", i, q.X, q.Y)
+		}
+	}
+	return nil
+}
+
+// handleEstimateSelectBatchRoute dispatches on method and media type before
+// the batch body is decoded: wrong methods get 405 + Allow, non-JSON bodies
+// get 415 — both as JSON, like every other response of the service.
+func (s *Server) handleEstimateSelectBatchRoute(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeJSON(w, http.StatusMethodNotAllowed,
+			errorResponse{Error: fmt.Sprintf("method %s not allowed; use POST", r.Method)})
+		return
+	}
+	if ct := r.Header.Get("Content-Type"); ct != "" {
+		mt, _, err := mime.ParseMediaType(ct)
+		if err != nil || mt != "application/json" {
+			writeJSON(w, http.StatusUnsupportedMediaType,
+				errorResponse{Error: fmt.Sprintf("Content-Type %q not supported; use application/json", ct)})
+			return
+		}
+	}
+	s.handleEstimateSelectBatch(w, r)
+}
+
 func (s *Server) handleEstimateSelectBatch(w http.ResponseWriter, r *http.Request) {
 	var req BatchSelectRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBatchBody)).Decode(&req); err != nil {
@@ -338,12 +404,27 @@ func (s *Server) handleEstimateSelectBatch(w http.ResponseWriter, r *http.Reques
 	if !ok {
 		return
 	}
+	if err := validateBatchQueries(req.Queries); err != nil {
+		badRequest(w, "%v", err)
+		return
+	}
 	queries := make([]core.SelectQuery, len(req.Queries))
 	for i, q := range req.Queries {
 		queries[i] = core.SelectQuery{Point: geom.Point{X: q.X, Y: q.Y}, K: q.K}
 	}
+	// Parallelism is advisory: a hostile client asking for a billion
+	// workers gets the machine's worth, no more. Zero and negative still
+	// mean GOMAXPROCS, 1 still forces a serial loop.
+	parallelism := req.Parallelism
+	if maxP := runtime.GOMAXPROCS(0); parallelism > maxP {
+		parallelism = maxP
+	}
 	start := time.Now()
-	results := core.EstimateSelectBatch(est, queries, req.Parallelism)
+	results, err := core.EstimateSelectBatchContext(r.Context(), est, queries, parallelism)
+	if err != nil {
+		writeCancelled(w, err)
+		return
+	}
 	took := time.Since(start)
 	out := make([]BatchSelectResult, len(results))
 	for i, res := range results {
@@ -426,7 +507,11 @@ func (s *Server) handleCostSelect(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	start := time.Now()
-	cost := knn.SelectCost(rel.tree, geom.Point{X: x, Y: y}, k)
+	cost, err := costSelect(r.Context(), rel.tree, geom.Point{X: x, Y: y}, k)
+	if err != nil {
+		writeCancelled(w, err)
+		return
+	}
 	writeJSON(w, http.StatusOK, EstimateResponse{
 		Relation: rel.name, K: k, Method: "actual",
 		Blocks: float64(cost), TookNs: time.Since(start).Nanoseconds(),
@@ -442,15 +527,37 @@ func (s *Server) handleCostJoin(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	if outer == inner {
+		badRequest(w, "outer and inner must differ")
+		return
+	}
 	k, err := queryK(r)
 	if err != nil {
 		badRequest(w, "%v", err)
 		return
 	}
 	start := time.Now()
-	cost := knnjoin.Cost(outer.count, inner.count, k)
+	cost, err := costJoin(r.Context(), outer.count, inner.count, k)
+	if err != nil {
+		writeCancelled(w, err)
+		return
+	}
 	writeJSON(w, http.StatusOK, EstimateResponse{
 		Outer: outer.name, Inner: inner.name, K: k, Method: "actual",
 		Blocks: float64(cost), TookNs: time.Since(start).Nanoseconds(),
 	})
 }
+
+// costSelect and costJoin are the ground-truth entry points, held in
+// variables so the fault-injection tests can substitute deterministically
+// slow or failing implementations and prove the deadline and recovery
+// behaviour of the full HTTP stack.
+var (
+	costSelect = knn.SelectCostContext
+	costJoin   = knnjoin.CostContext
+)
+
+// estimatorHook wraps every resolved select estimator; the identity in
+// production, replaced by the fault-injection tests to make estimators
+// deterministically slow or failing.
+var estimatorHook = func(est core.SelectEstimator) core.SelectEstimator { return est }

@@ -1,0 +1,70 @@
+#!/bin/sh
+# Soak smoke: boot knncostd on a random port, wait for /readyz, fire a burst
+# of batch estimates, SIGTERM the daemon mid-traffic, and assert it drains
+# and exits 0 within the drain timeout. Exercises the full production
+# middleware stack (readiness gate, load shedding, deadlines, graceful
+# drain) against a real process, which the in-process tests cannot.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+DRAIN=10
+TMPDIR="${TMPDIR:-/tmp}"
+BIN="$TMPDIR/knncostd-soak-$$"
+LOG="$TMPDIR/knncostd-soak-$$.log"
+OUT="$TMPDIR/knncostd-soak-$$.out"
+trap 'rm -f "$BIN" "$LOG" "$OUT"' EXIT
+
+go build -o "$BIN" ./cmd/knncostd
+
+"$BIN" -addr 127.0.0.1:0 \
+  -relations hotels:3000,restaurants:5000 \
+  -capacity 128 -maxk 100 -sample 50 -grid 6 \
+  -drain-timeout "${DRAIN}s" -access-log=false \
+  >"$OUT" 2>"$LOG" &
+PID=$!
+
+# The daemon prints its bound address first thing after listening.
+for i in $(seq 1 100); do
+  ADDR=$(sed -n 's/^knncostd listening on //p' "$OUT" | head -n1)
+  [ -n "$ADDR" ] && break
+  sleep 0.1
+done
+[ -n "${ADDR:-}" ] || { echo "soak: daemon never printed its address"; kill "$PID" 2>/dev/null; exit 1; }
+BASE="http://$ADDR"
+echo "soak: daemon pid=$PID addr=$ADDR"
+
+# Liveness must be immediate; readiness flips once catalogs are built.
+curl -fsS "$BASE/healthz" >/dev/null || { echo "soak: healthz failed"; kill "$PID"; exit 1; }
+for i in $(seq 1 300); do
+  if curl -fsS "$BASE/readyz" >/dev/null 2>&1; then READY=1; break; fi
+  sleep 0.1
+done
+[ -n "${READY:-}" ] || { echo "soak: daemon never became ready"; kill "$PID"; exit 1; }
+echo "soak: ready"
+
+# Burst through the batch endpoint (and sanity-check one estimate).
+BODY='{"relation":"restaurants","queries":[{"x":10,"y":45,"k":20},{"x":-20,"y":30,"k":5},{"x":0,"y":50,"k":60}]}'
+for i in $(seq 1 40); do
+  curl -fsS -X POST -H 'Content-Type: application/json' -d "$BODY" \
+    "$BASE/estimate/select/batch" >/dev/null &
+done
+curl -fsS "$BASE/estimate/select?rel=hotels&x=10&y=45&k=5" | grep -q '"blocks"' \
+  || { echo "soak: estimate response malformed"; kill "$PID"; exit 1; }
+
+# SIGTERM mid-burst: the daemon must drain and exit 0 within the timeout.
+kill -TERM "$PID"
+START=$(date +%s)
+EXIT=0
+wait "$PID" || EXIT=$?
+TOOK=$(( $(date +%s) - START ))
+wait 2>/dev/null || true   # reap the curl burst
+
+if [ "$EXIT" -ne 0 ]; then
+  echo "soak: daemon exited $EXIT, want 0"; cat "$LOG"; exit 1
+fi
+if [ "$TOOK" -gt $((DRAIN + 5)) ]; then
+  echo "soak: drain took ${TOOK}s, over the ${DRAIN}s timeout"; exit 1
+fi
+grep -q "drained cleanly" "$LOG" || { echo "soak: no clean-drain log line"; cat "$LOG"; exit 1; }
+echo "soak: OK (drained in ${TOOK}s)"
