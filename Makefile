@@ -14,11 +14,11 @@ vet:
 	$(GO) vet ./...
 
 # Race-test the packages with concurrent hot paths: the staircase build
-# fan-out, the batch estimation workers, the HTTP batch endpoint, the
-# robustness middleware, the fault-injection harness, and the daemon's
-# signal-driven drain.
+# fan-out, the batch estimation workers, the relation store's build pool and
+# hot-swap publication, the HTTP batch endpoint, the robustness middleware,
+# the fault-injection harness, and the daemon's signal-driven drain.
 race:
-	$(GO) test -race ./internal/core/... ./internal/service/... ./internal/faultinject/... ./cmd/knncostd/...
+	$(GO) test -race ./internal/core/... ./internal/store/... ./internal/service/... ./internal/faultinject/... ./cmd/knncostd/...
 
 # One iteration of every benchmark: catches benchmarks that panic or
 # regress to building their fixture per op, without the full measurement
@@ -29,7 +29,7 @@ bench-smoke:
 # The gate run by scripts/check.sh and documented in README.md.
 check: vet
 	$(GO) test ./...
-	$(GO) test -race ./internal/core/... ./internal/service/... ./internal/faultinject/... ./cmd/knncostd/...
+	$(GO) test -race ./internal/core/... ./internal/store/... ./internal/service/... ./internal/faultinject/... ./cmd/knncostd/...
 	$(GO) test -run xxx -bench 'BenchmarkEstimateSelectHot|BenchmarkStaircaseBuildAlloc|BenchmarkFig13SelectPreprocessCC' -benchtime 1x .
 
 # Boot a real knncostd, burst the batch endpoint, SIGTERM it, and assert a

@@ -1,7 +1,7 @@
 // Command knncostd serves k-NN cost estimates over HTTP: a schema of
-// synthetic relations is indexed and all catalogs prebuilt at startup,
-// then estimates are answered from memory in microseconds — the usage
-// profile the paper motivates for location-based services.
+// synthetic relations is registered at startup and every catalog built in
+// the background, then estimates are answered from memory in microseconds —
+// the usage profile the paper motivates for location-based services.
 //
 // Usage:
 //
@@ -11,25 +11,40 @@
 //	curl 'localhost:8080/estimate/select?rel=restaurants&x=10&y=45&k=25'
 //	curl 'localhost:8080/estimate/join?outer=hotels&inner=restaurants&k=5'
 //	curl 'localhost:8080/cost/select?rel=restaurants&x=10&y=45&k=25'
+//	curl -X POST localhost:8080/relations -d '{"name":"bars","points":[[1,2],[3,4]]}'
+//	curl -X DELETE localhost:8080/relations/bars
+//
+// The schema is dynamic: relations live in an internal/store relation store
+// whose immutable views hot-swap atomically under traffic, so registrations,
+// rebuilds and drops never pause estimate requests. With -cache-dir set, the
+// store persists every built catalog keyed by a fingerprint of the data, and
+// a restarted daemon warm-loads its whole schema — including relations
+// registered at runtime — without rebuilding a single catalog (the
+// knncost_catalog_builds expvar stays 0; /debug/vars exposes it).
 //
 // The daemon is hardened for production traffic:
 //
 //   - The listener binds immediately; /healthz (liveness) answers 200 from
-//     the first moment, /readyz answers 503 "starting" until every catalog
-//     is built, 200 "ready" after, and 503 "draining" during shutdown.
-//   - Every other route is wrapped in the middleware stack of
+//     the first moment, /readyz answers 503 "starting" until every boot
+//     relation's catalogs are ready, 200 "ready" after, and 503 "draining"
+//     during shutdown. Estimates for relations still building answer 503
+//     with Retry-After rather than 400.
+//   - Every route except the probes is wrapped in the middleware stack of
 //     internal/service/middleware: request IDs, access logging, panic
 //     recovery (JSON 500, process survives), per-route deadlines (stricter
-//     for the expensive ground-truth /cost/* routes), and load shedding
-//     with 503 + Retry-After beyond -max-in-flight plus -queue.
+//     for the expensive ground-truth /cost/* routes, separate budget for
+//     the /relations admin routes), and load shedding with 503 +
+//     Retry-After beyond -max-in-flight plus -queue.
 //   - SIGINT/SIGTERM trigger a graceful drain: the ready gate flips to
-//     draining, in-flight requests get up to -drain-timeout to finish, and
-//     the process exits 0.
+//     draining, in-flight requests get up to -drain-timeout to finish, the
+//     store's build pool drains (in-flight catalog builds get the same
+//     grace before cancellation), and the process exits 0.
 package main
 
 import (
 	"context"
 	"errors"
+	"expvar"
 	"flag"
 	"fmt"
 	"io"
@@ -40,18 +55,45 @@ import (
 	"os/signal"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"syscall"
 	"time"
 
 	"knncost/internal/datagen"
-	"knncost/internal/index"
-	"knncost/internal/quadtree"
 	"knncost/internal/service"
 	"knncost/internal/service/middleware"
+	"knncost/internal/store"
 )
 
 func main() { os.Exit(run(os.Args[1:], os.Stdout)) }
+
+// storeVars bridges the current store's counters into expvar. Tests run
+// several daemons in one process, so the expvar names are published once and
+// read through an atomic pointer to whichever store is current.
+var (
+	varsOnce  sync.Once
+	varsStore atomic.Pointer[store.Store]
+)
+
+func publishStoreVars(st *store.Store) {
+	varsStore.Store(st)
+	varsOnce.Do(func() {
+		counter := func(read func(*store.Store) int64) expvar.Func {
+			return func() any {
+				if s := varsStore.Load(); s != nil {
+					return read(s)
+				}
+				return int64(0)
+			}
+		}
+		expvar.Publish("knncost_catalog_builds", counter((*store.Store).CatalogBuilds))
+		expvar.Publish("knncost_cache_hits", counter((*store.Store).CacheHits))
+		expvar.Publish("knncost_relations", counter(func(s *store.Store) int64 {
+			return int64(s.View().NumRelations())
+		}))
+	})
+}
 
 // run is main with injectable args and stdout, so tests (and the soak
 // script via the printed listen address) can drive a full daemon lifecycle
@@ -67,16 +109,24 @@ func run(args []string, stdout io.Writer) int {
 		sample   = fs.Int("sample", 200, "catalog-merge sample size")
 		gridSize = fs.Int("grid", 10, "virtual-grid dimension")
 		seed     = fs.Int64("seed", 1, "dataset seed base")
+		cacheDir = fs.String("cache-dir", "",
+			"catalog cache directory for warm restarts (empty disables)")
+		dataDir = fs.String("data-dir", "",
+			"directory for server-side point files usable in POST /relations (empty disables)")
+		buildWorkers = fs.Int("build-workers", 0,
+			"catalog build worker pool size (0 means GOMAXPROCS)")
 
 		estimateDeadline = fs.Duration("deadline-estimate", 5*time.Second,
 			"per-request deadline for /estimate/* and metadata routes (0 disables)")
 		costDeadline = fs.Duration("deadline-cost", 2*time.Second,
 			"per-request deadline for the expensive ground-truth /cost/* routes (0 disables)")
+		adminDeadline = fs.Duration("deadline-admin", 10*time.Second,
+			"per-request deadline for the /relations admin routes (0 falls back to -deadline-estimate)")
 		maxInFlight = fs.Int("max-in-flight", 256, "max concurrently served requests (0 disables shedding)")
 		queueLen    = fs.Int("queue", 128, "admission-queue length beyond max-in-flight")
 		retryAfter  = fs.Duration("retry-after", time.Second, "Retry-After on shed 503s")
 		drain       = fs.Duration("drain-timeout", 10*time.Second,
-			"grace period for in-flight requests on SIGINT/SIGTERM")
+			"grace period for in-flight requests and catalog builds on SIGINT/SIGTERM")
 		readTimeout  = fs.Duration("read-timeout", 30*time.Second, "http.Server ReadTimeout")
 		writeTimeout = fs.Duration("write-timeout", 30*time.Second, "http.Server WriteTimeout")
 		idleTimeout  = fs.Duration("idle-timeout", 120*time.Second, "http.Server IdleTimeout")
@@ -102,27 +152,54 @@ func run(args []string, stdout io.Writer) int {
 	}
 	fmt.Fprintf(stdout, "knncostd listening on %s\n", ln.Addr())
 
-	var (
-		gate    middleware.Ready
-		app     atomic.Pointer[http.Handler]
-		rootMux = http.NewServeMux()
-	)
+	st, err := store.New(store.Options{
+		MaxK:          *maxK,
+		SampleSize:    *sample,
+		GridSize:      *gridSize,
+		IndexCapacity: *capacity,
+		Bounds:        datagen.WorldBounds,
+		Workers:       *buildWorkers,
+		CacheDir:      *cacheDir,
+	})
+	if err != nil {
+		log.Printf("knncostd: %v", err)
+		ln.Close()
+		return 1
+	}
+	publishStoreVars(st)
+	closeStore := func() {
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := st.Close(ctx); err != nil {
+			log.Printf("knncostd: store drain: %v", err)
+		}
+	}
+
+	srv := service.NewWithStore(st, service.Options{
+		MaxK:       *maxK,
+		SampleSize: *sample,
+		GridSize:   *gridSize,
+		DataDir:    *dataDir,
+	})
+	wrapped, _ := middleware.Wrap(srv, middleware.Config{
+		EstimateDeadline: *estimateDeadline,
+		CostDeadline:     *costDeadline,
+		AdminDeadline:    *adminDeadline,
+		MaxInFlight:      *maxInFlight,
+		QueueLen:         *queueLen,
+		RetryAfter:       *retryAfter,
+		AccessLog:        *accessLog,
+	})
+
+	var gate middleware.Ready
+	rootMux := http.NewServeMux()
 	rootMux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		fmt.Fprintln(w, `{"status":"ok"}`)
 	})
 	rootMux.Handle("GET /readyz", gate.Handler())
-	rootMux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
-		h := app.Load()
-		if h == nil {
-			w.Header().Set("Content-Type", "application/json")
-			w.Header().Set("Retry-After", "1")
-			w.WriteHeader(http.StatusServiceUnavailable)
-			fmt.Fprintln(w, `{"error":"starting: catalogs are still building"}`)
-			return
-		}
-		(*h).ServeHTTP(w, r)
-	})
+	rootMux.Handle("GET /debug/vars", expvar.Handler())
+	rootMux.Handle("/", wrapped)
 
 	httpSrv := &http.Server{
 		Handler:           rootMux,
@@ -132,37 +209,30 @@ func run(args []string, stdout io.Writer) int {
 		IdleTimeout:       *idleTimeout,
 	}
 
+	// Register the boot schema and flip the ready gate once it is built.
+	// The data is deterministic in (name, n, seed), so across restarts the
+	// fingerprints match and a warm cache satisfies every build. Cached
+	// relations registered at runtime were restored by store.New already.
 	buildFailed := make(chan struct{})
 	go func() {
-		trees, err := buildTrees(specs, *capacity, *seed)
-		if err != nil {
-			log.Printf("knncostd: %v", err)
-			close(buildFailed)
-			return
-		}
 		start := time.Now()
-		srv, err := service.New(trees, service.Options{
-			MaxK:       *maxK,
-			SampleSize: *sample,
-			GridSize:   *gridSize,
-		})
-		if err != nil {
+		for i, spec := range specs {
+			pts := datagen.OSMLike(spec.n, *seed+int64(i))
+			if _, err := st.Register(spec.name, pts); err != nil {
+				log.Printf("knncostd: registering %s: %v", spec.name, err)
+				close(buildFailed)
+				return
+			}
+		}
+		if err := st.WaitReady(context.Background()); err != nil {
 			log.Printf("knncostd: %v", err)
 			close(buildFailed)
 			return
 		}
-		log.Printf("catalogs built in %v", time.Since(start).Round(time.Millisecond))
-		wrapped, _ := middleware.Wrap(srv, middleware.Config{
-			EstimateDeadline: *estimateDeadline,
-			CostDeadline:     *costDeadline,
-			MaxInFlight:      *maxInFlight,
-			QueueLen:         *queueLen,
-			RetryAfter:       *retryAfter,
-			AccessLog:        *accessLog,
-		})
-		app.Store(&wrapped)
+		log.Printf("catalogs ready in %v (%d built, %d cache hits)",
+			time.Since(start).Round(time.Millisecond), st.CatalogBuilds(), st.CacheHits())
 		gate.SetReady()
-		log.Printf("ready: serving %d relations", len(trees))
+		log.Printf("ready: serving %d relations", st.View().NumRelations())
 	}()
 
 	serveErr := make(chan error, 1)
@@ -174,17 +244,20 @@ func run(args []string, stdout io.Writer) int {
 	select {
 	case <-buildFailed:
 		httpSrv.Close()
+		closeStore()
 		return 1
 	case err := <-serveErr:
 		// Serve only returns before shutdown on a fatal listener error.
 		log.Printf("knncostd: serve: %v", err)
+		closeStore()
 		return 1
 	case <-sigCtx.Done():
 	}
 
 	// Graceful drain: stop advertising readiness, then give in-flight
-	// requests the grace period. ErrServerClosed is the expected outcome
-	// of a clean shutdown, not a failure.
+	// requests the grace period, then drain the store's build pool the
+	// same way. ErrServerClosed is the expected outcome of a clean
+	// shutdown, not a failure.
 	log.Printf("signal received, draining (timeout %v)", *drain)
 	gate.SetDraining()
 	ctx, cancel := context.WithTimeout(context.Background(), *drain)
@@ -192,12 +265,15 @@ func run(args []string, stdout io.Writer) int {
 	if err := httpSrv.Shutdown(ctx); err != nil {
 		log.Printf("knncostd: drain timeout exceeded: %v", err)
 		httpSrv.Close()
+		closeStore()
 		return 1
 	}
 	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Printf("knncostd: serve: %v", err)
+		closeStore()
 		return 1
 	}
+	closeStore()
 	log.Printf("drained cleanly")
 	return 0
 }
@@ -224,17 +300,4 @@ func parseRelations(s string) ([]relationSpec, error) {
 		return nil, fmt.Errorf("no relations given")
 	}
 	return specs, nil
-}
-
-func buildTrees(specs []relationSpec, capacity int, seed int64) (map[string]*index.Tree, error) {
-	trees := map[string]*index.Tree{}
-	for i, spec := range specs {
-		pts := datagen.OSMLike(spec.n, seed+int64(i))
-		trees[spec.name] = quadtree.Build(pts, quadtree.Options{
-			Capacity: capacity,
-			Bounds:   datagen.WorldBounds,
-		}).Index()
-		log.Printf("indexed %s: %d points, %d blocks", spec.name, spec.n, trees[spec.name].NumBlocks())
-	}
-	return trees, nil
 }

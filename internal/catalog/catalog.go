@@ -12,6 +12,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"math"
 
 	"knncost/internal/pqueue"
 )
@@ -223,6 +224,12 @@ func (c *Catalog) UnmarshalBinary(data []byte) error {
 		return errors.New("catalog: truncated entry count")
 	}
 	data = data[sz:]
+	// Every entry costs at least two bytes (one per uvarint), so a count
+	// beyond len(data)/2 is a hostile or corrupt length field; reject it
+	// before it sizes an allocation.
+	if n > uint64(len(data)/2) {
+		return errors.New("catalog: entry count exceeds payload")
+	}
 	entries := make([]Entry, 0, n)
 	prevEnd := 0
 	for i := uint64(0); i < n; i++ {
@@ -236,6 +243,18 @@ func (c *Catalog) UnmarshalBinary(data []byte) error {
 			return errors.New("catalog: truncated cost")
 		}
 		data = data[sz2:]
+		// Well-formed catalogs have strictly increasing interval ends and
+		// costs that fit comfortably in an int; anything else would break
+		// the binary-search invariant Lookup relies on (or overflow EndK).
+		if delta == 0 {
+			return errors.New("catalog: non-increasing interval end")
+		}
+		if delta > math.MaxInt32 || uint64(prevEnd)+delta > math.MaxInt32 {
+			return errors.New("catalog: interval end overflows")
+		}
+		if cost > math.MaxInt32 {
+			return errors.New("catalog: cost overflows")
+		}
 		end := prevEnd + int(delta)
 		entries = append(entries, Entry{StartK: prevEnd + 1, EndK: end, Cost: int(cost)})
 		prevEnd = end

@@ -27,6 +27,11 @@ const (
 	magicStaircase   = "KNCS"
 	magicCatalogMrg  = "KNCM"
 	magicVirtualGrid = "KNVG"
+
+	// maxSaneK bounds the MaxK a loader accepts. Catalog-maintained k values
+	// are "a practically large constant" (the paper uses 10,000); 2^32 is far
+	// beyond any of them while still rejecting hostile length fields early.
+	maxSaneK = 1 << 32
 )
 
 type binWriter struct {
@@ -92,10 +97,33 @@ func (b *binReader) bytes() []byte {
 		b.err = errors.New("core: unreasonable field length")
 		return nil
 	}
-	p := make([]byte, n)
-	if _, err := io.ReadFull(b.r, p); err != nil {
-		b.err = err
-		return nil
+	// A hostile length field must not translate into a huge up-front
+	// allocation: small fields are read exactly, large ones are read in
+	// bounded chunks so a truncated stream fails after at most one chunk
+	// of over-allocation instead of n bytes.
+	const chunk = 64 << 10
+	sz := int(n)
+	if sz <= chunk {
+		p := make([]byte, sz)
+		if _, err := io.ReadFull(b.r, p); err != nil {
+			b.err = err
+			return nil
+		}
+		return p
+	}
+	p := make([]byte, 0, chunk)
+	buf := make([]byte, chunk)
+	for read := 0; read < sz; {
+		step := sz - read
+		if step > chunk {
+			step = chunk
+		}
+		if _, err := io.ReadFull(b.r, buf[:step]); err != nil {
+			b.err = err
+			return nil
+		}
+		p = append(p, buf[:step]...)
+		read += step
 	}
 	return p
 }
@@ -180,6 +208,20 @@ func LoadStaircase(data *index.Tree, r io.Reader, opt StaircaseOptions) (*Stairc
 	if b.err != nil {
 		return nil, b.err
 	}
+	// Validate the header fields before they size anything: an unknown mode
+	// would leave the corners/quads slices nil and panic at estimation time,
+	// and a hostile maxK or block count must not drive allocations.
+	switch mode {
+	case ModeCenterCorners, ModeCenterOnly, ModeCenterQuadrant:
+	default:
+		return nil, fmt.Errorf("core: unknown staircase mode %d", mode)
+	}
+	if maxK < 1 || maxK > maxSaneK {
+		return nil, fmt.Errorf("core: unreasonable staircase MaxK %d", maxK)
+	}
+	if numBlocks < 1 || numPoints < 0 {
+		return nil, fmt.Errorf("core: unreasonable staircase shape: %d blocks, %d points", numBlocks, numPoints)
+	}
 	aux := data
 	if !data.Partitioning() {
 		aux = auxiliaryIndex(data, opt.AuxCapacity)
@@ -243,6 +285,12 @@ func LoadCatalogMerge(r io.Reader) (*CatalogMerge, error) {
 	readHeader(b, magicCatalogMrg)
 	maxK := int(b.u64())
 	scale := b.f64()
+	if b.err == nil && (maxK < 1 || maxK > maxSaneK) {
+		return nil, fmt.Errorf("core: unreasonable catalog-merge MaxK %d", maxK)
+	}
+	if b.err == nil && (math.IsNaN(scale) || math.IsInf(scale, 0) || scale < 0) {
+		return nil, fmt.Errorf("core: invalid catalog-merge scale %v", scale)
+	}
 	merged := b.catalog()
 	if b.err != nil {
 		return nil, b.err
@@ -287,8 +335,11 @@ func LoadVirtualGrid(r io.Reader) (*VirtualGrid, error) {
 	if b.err != nil {
 		return nil, b.err
 	}
-	if nx < 1 || ny < 1 || nx*ny > 1<<20 {
+	if nx < 1 || ny < 1 || nx > 1<<20 || ny > 1<<20 || nx*ny > 1<<20 {
 		return nil, fmt.Errorf("core: unreasonable grid %dx%d", nx, ny)
+	}
+	if maxK < 1 || maxK > maxSaneK {
+		return nil, fmt.Errorf("core: unreasonable virtual-grid MaxK %d", maxK)
 	}
 	if !bounds.Valid() || bounds.Width() <= 0 || bounds.Height() <= 0 {
 		return nil, fmt.Errorf("core: invalid grid bounds %v", bounds)

@@ -1,0 +1,138 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"knncost/internal/geom"
+	"knncost/internal/index"
+)
+
+// The persist loaders read length fields from untrusted bytes (a shared
+// catalog cache, a copied file). These fuzz targets pin the hardening
+// contract: on any input they either return an error or produce an
+// estimator whose methods do not panic — never a crash, and never an
+// allocation sized by a hostile length field (length fields are validated
+// against the payload or read in bounded chunks before anything is sized
+// by them).
+
+// fuzzFixture is the shared small index (and serialized artifacts as seed
+// corpus) for all three targets, built once per process.
+var fuzzFixture struct {
+	once      sync.Once
+	data      *index.Tree
+	staircase []byte
+	merge     []byte
+	vgrid     []byte
+}
+
+func fuzzSetup(tb testing.TB) {
+	fuzzFixture.once.Do(func() {
+		rng := rand.New(rand.NewSource(99))
+		bounds := geom.NewRect(0, 0, 64, 64)
+		fuzzFixture.data = buildIx(clusteredPoints(rng, 600, bounds), bounds, 32)
+		other := buildIx(clusteredPoints(rng, 400, bounds), bounds, 32)
+
+		s, err := BuildStaircase(fuzzFixture.data, StaircaseOptions{MaxK: 40})
+		if err != nil {
+			panic(err)
+		}
+		var buf bytes.Buffer
+		if _, err := s.WriteTo(&buf); err != nil {
+			panic(err)
+		}
+		fuzzFixture.staircase = append([]byte(nil), buf.Bytes()...)
+
+		cm, err := BuildCatalogMerge(fuzzFixture.data.CountTree(), other.CountTree(), 20, 40)
+		if err != nil {
+			panic(err)
+		}
+		buf.Reset()
+		if _, err := cm.WriteTo(&buf); err != nil {
+			panic(err)
+		}
+		fuzzFixture.merge = append([]byte(nil), buf.Bytes()...)
+
+		vg, err := BuildVirtualGrid(fuzzFixture.data.CountTree(), 4, 4, 40)
+		if err != nil {
+			panic(err)
+		}
+		buf.Reset()
+		if _, err := vg.WriteTo(&buf); err != nil {
+			panic(err)
+		}
+		fuzzFixture.vgrid = append([]byte(nil), buf.Bytes()...)
+	})
+}
+
+// seedMutations adds the valid encoding plus systematic corruptions:
+// truncations at several depths and single-byte flips, which together cover
+// every length-field position.
+func seedMutations(f *testing.F, valid []byte) {
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add(valid[:1])
+	for _, frac := range []int{8, 4, 2} {
+		f.Add(valid[:len(valid)/frac])
+	}
+	for _, pos := range []int{4, 5, 6, 7, 8, len(valid) / 2} {
+		if pos < len(valid) {
+			mut := append([]byte(nil), valid...)
+			mut[pos] ^= 0xFF
+			f.Add(mut)
+		}
+	}
+	// A hostile length field right after the header: 0xFF... uvarint.
+	f.Add(append(append([]byte(nil), valid[:6]...),
+		0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01))
+}
+
+func FuzzLoadStaircase(f *testing.F) {
+	fuzzSetup(f)
+	seedMutations(f, fuzzFixture.staircase)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := LoadStaircase(fuzzFixture.data, bytes.NewReader(data), StaircaseOptions{})
+		if err != nil {
+			return // rejection is always acceptable
+		}
+		// Accepted input must yield a usable estimator: estimates may fail
+		// with an error (sparse hostile catalogs) but must never panic.
+		for _, q := range []geom.Point{{X: 1, Y: 1}, {X: 32, Y: 32}, {X: 63, Y: 63}} {
+			for _, k := range []int{1, 7, 40} {
+				_, _ = s.EstimateSelect(q, k)
+			}
+		}
+	})
+}
+
+func FuzzLoadCatalogMerge(f *testing.F) {
+	fuzzSetup(f)
+	seedMutations(f, fuzzFixture.merge)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cm, err := LoadCatalogMerge(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		for _, k := range []int{1, 7, 40, 1000} {
+			_, _ = cm.EstimateJoin(k)
+		}
+		_ = cm.StorageBytes()
+	})
+}
+
+func FuzzLoadVirtualGrid(f *testing.F) {
+	fuzzSetup(f)
+	seedMutations(f, fuzzFixture.vgrid)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		vg, err := LoadVirtualGrid(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		for _, k := range []int{1, 7, 40} {
+			_, _ = vg.EstimateJoin(fuzzFixture.data, k)
+		}
+		_ = vg.StorageBytes()
+	})
+}

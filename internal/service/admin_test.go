@@ -1,0 +1,264 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"knncost/internal/store"
+)
+
+// adminServer is a dynamic-schema server: an empty caller-managed store plus
+// a data directory for the file source.
+func adminServer(t *testing.T, dataDir string) (*httptest.Server, *store.Store) {
+	t.Helper()
+	st, err := store.New(store.Options{MaxK: 100, SampleSize: 40, GridSize: 4, IndexCapacity: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		st.Close(ctx)
+	})
+	srv := httptest.NewServer(NewWithStore(st, Options{
+		MaxK: 100, SampleSize: 40, GridSize: 4, DataDir: dataDir,
+	}))
+	t.Cleanup(srv.Close)
+	return srv, st
+}
+
+func adminPost(t *testing.T, url string, body any, out any) (int, http.Header) {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decoding %s response: %v", url, err)
+		}
+	}
+	return resp.StatusCode, resp.Header
+}
+
+func doRequest(t *testing.T, method, url string) int {
+	t.Helper()
+	req, err := http.NewRequest(method, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	return resp.StatusCode
+}
+
+func inlinePoints(n int, seed int64) [][2]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([][2]float64, n)
+	for i := range pts {
+		pts[i] = [2]float64{rng.Float64() * 100, rng.Float64() * 100}
+	}
+	return pts
+}
+
+// TestAdminLifecycle is the e2e acceptance path: POST registers and returns
+// 202 with a build status; estimates answer 503 (never 400) until the build
+// publishes, then 200; the listing shows the relation ready; DELETE drops it
+// and a second DELETE is 404.
+func TestAdminLifecycle(t *testing.T) {
+	srv, _ := adminServer(t, "")
+
+	var st RelationInfo
+	code, _ := adminPost(t, srv.URL+"/relations", RegisterRequest{
+		Name: "dyn", Points: inlinePoints(5000, 1),
+	}, &st)
+	if code != http.StatusAccepted {
+		t.Fatalf("POST /relations = %d, want 202", code)
+	}
+	if st.Name != "dyn" || (st.State != "queued" && st.State != "building") {
+		t.Fatalf("registration status = %+v", st)
+	}
+
+	// Until the catalogs publish, estimates must say "retry" (503 with
+	// Retry-After), never "your request is wrong" (400). Eventually 200.
+	estimateURL := srv.URL + "/estimate/select?rel=dyn&x=50&y=50&k=10"
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err := http.Get(estimateURL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var est EstimateResponse
+		code := resp.StatusCode
+		if code == http.StatusOK {
+			if err := json.NewDecoder(resp.Body).Decode(&est); err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if est.Blocks < 1 {
+				t.Fatalf("estimate %+v", est)
+			}
+			break
+		}
+		if code != http.StatusServiceUnavailable {
+			t.Fatalf("estimate while building = %d, want 503 or 200", code)
+		}
+		if resp.Header.Get("Retry-After") == "" {
+			t.Fatal("503 while building lacks Retry-After")
+		}
+		resp.Body.Close()
+		if time.Now().After(deadline) {
+			t.Fatal("relation never became ready")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	var status RelationInfo
+	if code := getJSON(t, srv.URL+"/relations/dyn/status", &status); code != http.StatusOK {
+		t.Fatalf("status endpoint = %d", code)
+	}
+	if status.State != "ready" || status.Version != 1 || status.NumPoints != 5000 {
+		t.Fatalf("status after build = %+v", status)
+	}
+	var list []RelationInfo
+	if code := getJSON(t, srv.URL+"/relations", &list); code != http.StatusOK || len(list) != 1 {
+		t.Fatalf("listing = %d, %v", code, list)
+	}
+	if list[0].State != "ready" || list[0].StaircaseBytes <= 0 {
+		t.Fatalf("listing row = %+v", list[0])
+	}
+
+	if code := doRequest(t, http.MethodDelete, srv.URL+"/relations/dyn"); code != http.StatusNoContent {
+		t.Fatalf("DELETE = %d, want 204", code)
+	}
+	if code := doRequest(t, http.MethodDelete, srv.URL+"/relations/dyn"); code != http.StatusNotFound {
+		t.Fatalf("second DELETE = %d, want 404", code)
+	}
+	if code := doRequest(t, http.MethodGet, srv.URL+"/relations/dyn/status"); code != http.StatusNotFound {
+		t.Fatalf("status after drop = %d, want 404", code)
+	}
+	resp, err := http.Get(estimateURL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("estimate after drop = %d, want 400 (unknown relation)", resp.StatusCode)
+	}
+}
+
+func TestAdminRegisterFromFile(t *testing.T) {
+	dataDir := t.TempDir()
+	var buf bytes.Buffer
+	buf.WriteString("# comment line\n\n")
+	for _, p := range inlinePoints(3000, 7) {
+		fmt.Fprintf(&buf, "%v,%v\n", p[0], p[1])
+	}
+	if err := os.WriteFile(filepath.Join(dataDir, "pts.csv"), buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	srv, st := adminServer(t, dataDir)
+
+	code, _ := adminPost(t, srv.URL+"/relations", RegisterRequest{Name: "fromfile", File: "pts.csv"}, nil)
+	if code != http.StatusAccepted {
+		t.Fatalf("POST file registration = %d, want 202", code)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := st.WaitReady(ctx, "fromfile"); err != nil {
+		t.Fatal(err)
+	}
+	var status RelationInfo
+	getJSON(t, srv.URL+"/relations/fromfile/status", &status)
+	if status.NumPoints != 3000 {
+		t.Fatalf("file registration loaded %d points, want 3000", status.NumPoints)
+	}
+}
+
+func TestAdminRegisterRejections(t *testing.T) {
+	dataDir := t.TempDir()
+	srv, _ := adminServer(t, dataDir)
+	noFileSrv, _ := adminServer(t, "")
+
+	cases := []struct {
+		name string
+		url  string
+		req  RegisterRequest
+		want int
+	}{
+		{"no source", srv.URL, RegisterRequest{Name: "x"}, http.StatusBadRequest},
+		{"both sources", srv.URL, RegisterRequest{Name: "x", Points: inlinePoints(5, 1), File: "a"}, http.StatusBadRequest},
+		{"bad name", srv.URL, RegisterRequest{Name: "no spaces", Points: inlinePoints(5, 1)}, http.StatusBadRequest},
+		{"path escape", srv.URL, RegisterRequest{Name: "x", File: "../secret"}, http.StatusBadRequest},
+		{"absolute path", srv.URL, RegisterRequest{Name: "x", File: "/etc/passwd"}, http.StatusBadRequest},
+		{"missing file", srv.URL, RegisterRequest{Name: "x", File: "nope.csv"}, http.StatusBadRequest},
+		{"file source disabled", noFileSrv.URL, RegisterRequest{Name: "x", File: "a.csv"}, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		var out errorResponse
+		code, _ := adminPost(t, tc.url+"/relations", tc.req, &out)
+		if code != tc.want {
+			t.Errorf("%s: status %d, want %d", tc.name, code, tc.want)
+		}
+		if out.Error == "" {
+			t.Errorf("%s: empty error message", tc.name)
+		}
+	}
+
+	// Non-JSON content type is refused before the body is read.
+	resp, err := http.Post(srv.URL+"/relations", "text/plain", bytes.NewReader([]byte("hi")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnsupportedMediaType {
+		t.Errorf("text/plain registration = %d, want 415", resp.StatusCode)
+	}
+}
+
+// TestAdminReplaceHotSwaps registers the same name twice over HTTP and
+// verifies the version advances while the relation keeps serving.
+func TestAdminReplaceHotSwaps(t *testing.T) {
+	srv, st := adminServer(t, "")
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	if code, _ := adminPost(t, srv.URL+"/relations", RegisterRequest{Name: "r", Points: inlinePoints(4000, 1)}, nil); code != http.StatusAccepted {
+		t.Fatalf("first registration: %d", code)
+	}
+	if err := st.WaitReady(ctx, "r"); err != nil {
+		t.Fatal(err)
+	}
+	if code, _ := adminPost(t, srv.URL+"/relations", RegisterRequest{Name: "r", Points: inlinePoints(6000, 2)}, nil); code != http.StatusAccepted {
+		t.Fatalf("replacement registration: %d", code)
+	}
+	if err := st.WaitReady(ctx, "r"); err != nil {
+		t.Fatal(err)
+	}
+	var status RelationInfo
+	getJSON(t, srv.URL+"/relations/r/status", &status)
+	if status.Version != 2 || status.NumPoints != 6000 {
+		t.Fatalf("after replacement: %+v", status)
+	}
+	var est EstimateResponse
+	if code := getJSON(t, srv.URL+"/estimate/select?rel=r&x=50&y=50&k=5", &est); code != http.StatusOK {
+		t.Fatalf("estimate after replacement: %d", code)
+	}
+}

@@ -61,6 +61,11 @@ type Config struct {
 	// distance-browsing or locality computation is the one thing a loaded
 	// server must not let run away. Zero disables the deadline.
 	CostDeadline time.Duration
+	// AdminDeadline bounds the /relations admin routes. Registration reads
+	// and validates a potentially large payload but only enqueues the
+	// build, so it deserves its own budget independent of the estimate
+	// routes. Zero falls back to EstimateDeadline.
+	AdminDeadline time.Duration
 	// MaxInFlight bounds concurrently served requests. Zero disables
 	// load shedding.
 	MaxInFlight int
@@ -101,10 +106,12 @@ func Wrap(h http.Handler, cfg Config) (http.Handler, *Limiter) {
 		lim = NewLimiter(cfg.MaxInFlight, cfg.QueueLen, cfg.RetryAfter)
 		mws = append(mws, lim.Middleware())
 	}
-	if cfg.EstimateDeadline > 0 || cfg.CostDeadline > 0 {
-		mws = append(mws, Deadlines(cfg.EstimateDeadline, map[string]time.Duration{
-			"/cost/": cfg.CostDeadline,
-		}))
+	if cfg.EstimateDeadline > 0 || cfg.CostDeadline > 0 || cfg.AdminDeadline > 0 {
+		rules := map[string]time.Duration{"/cost/": cfg.CostDeadline}
+		if cfg.AdminDeadline > 0 {
+			rules["/relations"] = cfg.AdminDeadline
+		}
+		mws = append(mws, Deadlines(cfg.EstimateDeadline, rules))
 	}
 	return Chain(h, mws...), lim
 }

@@ -3,24 +3,35 @@
 // services that serve multiple queries at very high rates, e.g., thousands
 // of queries per second", where estimation must cost microseconds.
 //
-// A Server is configured with named relations at startup; it prebuilds
-// every catalog (staircase per relation, Catalog-Merge per ordered pair,
-// Virtual-Grid per relation) and then answers estimate requests from
-// memory.
+// A Server answers requests against an internal/store relation store: every
+// estimate resolves the store's current immutable View with one atomic load,
+// so the hot path never blocks on catalog construction and never observes a
+// half-published schema. Relations can be fixed at startup (New) or managed
+// dynamically over the admin endpoints (registration enqueues a background
+// catalog build; the relation starts serving the moment its snapshot is
+// published, and rebuilds hot-swap atomically under live traffic).
 //
-// Endpoints (all GET, all JSON):
+// Read endpoints (all GET, all JSON):
 //
 //	/healthz                          liveness
-//	/relations                        registered relations + catalog sizes
+//	/relations                        consistent listing: build state, version,
+//	                                  catalog sizes — one store snapshot
+//	/relations/{name}/status          one relation's build status
 //	/estimate/select?rel=R&x=&y=&k=&method=staircase|density
 //	/estimate/join?outer=R&inner=S&k=&method=catalogmerge|virtualgrid|blocksample
 //	/cost/select?rel=R&x=&y=&k=       actual cost (executes distance browsing)
 //	/cost/join?outer=R&inner=S&k=     actual cost (computes localities)
 //
-// Plus one POST endpoint for high-throughput clients:
+// Write endpoints:
 //
-//	POST /estimate/select/batch       JSON body, many select estimates in one
-//	                                  round trip with server-side parallelism
+//	POST   /estimate/select/batch     many select estimates in one round trip
+//	POST   /relations                 register/replace a relation (202 Accepted;
+//	                                  body carries inline points or a
+//	                                  server-side file name under DataDir)
+//	DELETE /relations/{name}          drop a relation
+//
+// A relation that is registered but not yet published answers estimates with
+// 503 + Retry-After (it will exist shortly); an unknown name stays 400.
 package service
 
 import (
@@ -32,9 +43,11 @@ import (
 	"math"
 	"mime"
 	"net/http"
+	"os"
+	"path/filepath"
 	"runtime"
-	"sort"
 	"strconv"
+	"strings"
 	"time"
 
 	"knncost/internal/core"
@@ -42,6 +55,7 @@ import (
 	"knncost/internal/index"
 	"knncost/internal/knn"
 	"knncost/internal/knnjoin"
+	"knncost/internal/store"
 )
 
 // Options configure catalog construction at server start.
@@ -53,6 +67,10 @@ type Options struct {
 	SampleSize int
 	// GridSize is the Virtual-Grid dimension. Zero means 10.
 	GridSize int
+	// DataDir, when non-empty, enables the server-side "file" source of
+	// POST /relations: file names resolve strictly inside this directory.
+	// Empty (the default) disables file loading entirely.
+	DataDir string
 }
 
 func (o Options) withDefaults() Options {
@@ -68,77 +86,73 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-type relation struct {
-	name      string
-	tree      *index.Tree
-	count     *index.Tree
-	staircase *core.Staircase
-	density   *core.DensityBased
-	vgrid     *core.VirtualGrid
-}
-
-// Server answers estimation requests for a fixed schema of relations.
+// Server answers estimation requests for the relations of a store.
 type Server struct {
-	opt       Options
-	relations map[string]*relation
-	names     []string
-	merges    map[[2]string]*core.CatalogMerge
-	mux       *http.ServeMux
+	opt      Options
+	store    *store.Store
+	ownStore bool // Close drains the store only when New created it
+	mux      *http.ServeMux
 }
 
-// New creates a server over the given relations (name → data index). It
-// prebuilds all catalogs, so construction time is the preprocessing cost
-// of the whole schema.
+// New creates a server over a fixed schema (name → data index) with an
+// internally managed store: all catalogs are built before New returns, so
+// construction time is the preprocessing cost of the whole schema. For
+// dynamic schemas and warm restarts, create a store.Store and use
+// NewWithStore instead.
 func New(trees map[string]*index.Tree, opt Options) (*Server, error) {
 	opt = opt.withDefaults()
-	s := &Server{
-		opt:       opt,
-		relations: make(map[string]*relation, len(trees)),
-		merges:    map[[2]string]*core.CatalogMerge{},
-		mux:       http.NewServeMux(),
+	st, err := store.New(store.Options{
+		MaxK:       opt.MaxK,
+		SampleSize: opt.SampleSize,
+		GridSize:   opt.GridSize,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("service: %w", err)
+	}
+	closeStore := func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		st.Close(ctx)
 	}
 	for name, tree := range trees {
-		if tree.NumBlocks() == 0 {
-			return nil, fmt.Errorf("service: relation %q has no blocks", name)
+		if _, err := st.RegisterIndex(name, tree); err != nil {
+			closeStore()
+			return nil, fmt.Errorf("service: %w", err)
 		}
-		stair, err := core.BuildStaircase(tree, core.StaircaseOptions{MaxK: opt.MaxK})
-		if err != nil {
-			return nil, fmt.Errorf("service: staircase for %q: %w", name, err)
-		}
-		count := tree.CountTree()
-		vg, err := core.BuildVirtualGrid(count, opt.GridSize, opt.GridSize, opt.MaxK)
-		if err != nil {
-			return nil, fmt.Errorf("service: virtual grid for %q: %w", name, err)
-		}
-		s.relations[name] = &relation{
-			name:      name,
-			tree:      tree,
-			count:     count,
-			staircase: stair,
-			density:   core.NewDensityBased(count),
-			vgrid:     vg,
-		}
-		s.names = append(s.names, name)
 	}
-	sort.Strings(s.names)
-	// One Catalog-Merge per ordered pair — the quadratic schema cost §4.2
-	// describes.
-	for _, outer := range s.names {
-		for _, inner := range s.names {
-			if outer == inner {
-				continue
-			}
-			cm, err := core.BuildCatalogMerge(
-				s.relations[outer].count, s.relations[inner].count,
-				opt.SampleSize, opt.MaxK)
-			if err != nil {
-				return nil, fmt.Errorf("service: catalog-merge %s⋉%s: %w", outer, inner, err)
-			}
-			s.merges[[2]string{outer, inner}] = cm
-		}
+	if err := st.WaitReady(context.Background()); err != nil {
+		closeStore()
+		return nil, fmt.Errorf("service: %w", err)
+	}
+	s := NewWithStore(st, opt)
+	s.ownStore = true
+	return s, nil
+}
+
+// NewWithStore creates a server over a caller-managed store. The caller owns
+// the store's lifecycle (and its warm-restart cache); relations may still be
+// building when the server starts answering — unpublished relations return
+// 503 + Retry-After until their snapshot lands.
+func NewWithStore(st *store.Store, opt Options) *Server {
+	s := &Server{
+		opt:   opt.withDefaults(),
+		store: st,
+		mux:   http.NewServeMux(),
 	}
 	s.routes()
-	return s, nil
+	return s
+}
+
+// Store returns the server's relation store.
+func (s *Server) Store() *store.Store { return s.store }
+
+// Close drains the internally managed store of a New-constructed server; it
+// is a no-op for NewWithStore servers, whose store the caller owns.
+func (s *Server) Close(ctx context.Context) error {
+	if !s.ownStore {
+		return nil
+	}
+	return s.store.Close(ctx)
 }
 
 // ServeHTTP implements http.Handler.
@@ -147,6 +161,9 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.Serve
 func (s *Server) routes() {
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /relations", s.handleRelations)
+	s.mux.HandleFunc("POST /relations", s.handleRegisterRelation)
+	s.mux.HandleFunc("GET /relations/{name}/status", s.handleRelationStatus)
+	s.mux.HandleFunc("DELETE /relations/{name}", s.handleDropRelation)
 	s.mux.HandleFunc("GET /estimate/select", s.handleEstimateSelect)
 	// The batch route owns its method dispatch (instead of a "POST ..."
 	// mux pattern) so wrong methods get a JSON 405 with an Allow header
@@ -176,6 +193,10 @@ func badRequest(w http.ResponseWriter, format string, args ...any) {
 	writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf(format, args...)})
 }
 
+func notFound(w http.ResponseWriter, format string, args ...any) {
+	writeJSON(w, http.StatusNotFound, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
 // writeCancelled maps a context cancellation (deadline exceeded or client
 // gone) observed inside a handler to a JSON 503 — the request was valid, the
 // server just refused to spend more time on it.
@@ -188,32 +209,177 @@ func writeCancelled(w http.ResponseWriter, err error) {
 	writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: msg})
 }
 
+// notReady answers for a relation that is registered but has no published
+// snapshot yet (or anymore, after a failed rebuild of a never-published
+// relation): the client should retry, not fix its request.
+func notReady(w http.ResponseWriter, st store.RelationStatus) {
+	w.Header().Set("Retry-After", "1")
+	writeJSON(w, http.StatusServiceUnavailable,
+		errorResponse{Error: fmt.Sprintf("relation %q is not ready (state %s)", st.Name, st.State)})
+}
+
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
-// RelationInfo describes one registered relation.
+// RelationInfo describes one relation in the /relations listing: identity and
+// catalog sizes of the published snapshot plus the live build status. The
+// whole listing comes from a single store View, so rows are mutually
+// consistent no matter how the schema churns.
 type RelationInfo struct {
 	Name             string `json:"name"`
+	State            string `json:"state"`
+	Version          uint64 `json:"version"`
+	Error            string `json:"error,omitempty"`
 	NumPoints        int    `json:"num_points"`
 	NumBlocks        int    `json:"num_blocks"`
 	StaircaseBytes   int    `json:"staircase_bytes"`
 	VirtualGridBytes int    `json:"virtual_grid_bytes"`
 }
 
+func infoFromStatus(st store.RelationStatus) RelationInfo {
+	return RelationInfo{
+		Name:             st.Name,
+		State:            st.State,
+		Version:          st.Version,
+		Error:            st.Error,
+		NumPoints:        st.NumPoints,
+		NumBlocks:        st.NumBlocks,
+		StaircaseBytes:   st.StaircaseBytes,
+		VirtualGridBytes: st.VirtualGridBytes,
+	}
+}
+
 func (s *Server) handleRelations(w http.ResponseWriter, _ *http.Request) {
-	out := make([]RelationInfo, 0, len(s.names))
-	for _, name := range s.names {
-		rel := s.relations[name]
-		out = append(out, RelationInfo{
-			Name:             name,
-			NumPoints:        rel.tree.NumPoints(),
-			NumBlocks:        rel.tree.NumBlocks(),
-			StaircaseBytes:   rel.staircase.StorageBytes(),
-			VirtualGridBytes: rel.vgrid.StorageBytes(),
-		})
+	list := s.store.View().List()
+	out := make([]RelationInfo, len(list))
+	for i, st := range list {
+		out[i] = infoFromStatus(st)
 	}
 	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleRelationStatus(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	st, ok := s.store.Status(name)
+	if !ok {
+		notFound(w, "unknown relation %q", name)
+		return
+	}
+	writeJSON(w, http.StatusOK, infoFromStatus(st))
+}
+
+func (s *Server) handleDropRelation(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if !s.store.Drop(name) {
+		notFound(w, "unknown relation %q", name)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// RegisterRequest is the body of POST /relations. Exactly one point source
+// must be given: inline Points, or File naming a points file inside the
+// server's data directory.
+type RegisterRequest struct {
+	// Name is the relation name (letters, digits, '_', '-', '.').
+	// Registering an existing name replaces it: the old version keeps
+	// serving until the new catalogs are ready, then hot-swaps.
+	Name string `json:"name"`
+	// Points are inline coordinates, each [x, y].
+	Points [][2]float64 `json:"points,omitempty"`
+	// File names a points file (one "x y" or "x,y" pair per line) inside
+	// the server's data directory. Rejected when no data directory is
+	// configured.
+	File string `json:"file,omitempty"`
+}
+
+// maxRegisterBody bounds the registration body (16 MiB ≈ half a million
+// inline points) so a misbehaving client cannot exhaust server memory.
+const maxRegisterBody = 16 << 20
+
+func (s *Server) handleRegisterRelation(w http.ResponseWriter, r *http.Request) {
+	if ct := r.Header.Get("Content-Type"); ct != "" {
+		mt, _, err := mime.ParseMediaType(ct)
+		if err != nil || mt != "application/json" {
+			writeJSON(w, http.StatusUnsupportedMediaType,
+				errorResponse{Error: fmt.Sprintf("Content-Type %q not supported; use application/json", ct)})
+			return
+		}
+	}
+	var req RegisterRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRegisterBody)).Decode(&req); err != nil {
+		badRequest(w, "decoding registration: %v", err)
+		return
+	}
+	var pts []geom.Point
+	switch {
+	case len(req.Points) > 0 && req.File != "":
+		badRequest(w, "give either inline points or a file, not both")
+		return
+	case len(req.Points) > 0:
+		pts = make([]geom.Point, len(req.Points))
+		for i, p := range req.Points {
+			pts[i] = geom.Point{X: p[0], Y: p[1]}
+		}
+	case req.File != "":
+		var err error
+		if pts, err = s.loadDataFile(req.File); err != nil {
+			badRequest(w, "%v", err)
+			return
+		}
+	default:
+		badRequest(w, "registration needs points or a file")
+		return
+	}
+	st, err := s.store.Register(req.Name, pts)
+	if err != nil {
+		switch {
+		case errors.Is(err, store.ErrQueueFull), errors.Is(err, store.ErrClosed):
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: err.Error()})
+		default:
+			badRequest(w, "%v", err)
+		}
+		return
+	}
+	// 202: the build is queued; poll /relations/{name}/status for the
+	// queued → building → ready|failed progression.
+	writeJSON(w, http.StatusAccepted, infoFromStatus(st))
+}
+
+// loadDataFile reads a points file strictly inside the configured data
+// directory. The format is one point per line, "x y" or "x,y"; blank lines
+// and lines starting with '#' are skipped.
+func (s *Server) loadDataFile(name string) ([]geom.Point, error) {
+	if s.opt.DataDir == "" {
+		return nil, errors.New("server-side file loading is disabled (no data directory configured)")
+	}
+	// filepath.IsLocal rejects absolute paths, "..", and anything else that
+	// could escape the data directory.
+	if !filepath.IsLocal(name) {
+		return nil, fmt.Errorf("file %q: must be a relative path inside the data directory", name)
+	}
+	data, err := os.ReadFile(filepath.Join(s.opt.DataDir, name))
+	if err != nil {
+		return nil, fmt.Errorf("reading data file: %v", err)
+	}
+	var pts []geom.Point
+	for lineNo, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(strings.ReplaceAll(line, ",", " "))
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		var p geom.Point
+		if _, err := fmt.Sscan(line, &p.X, &p.Y); err != nil {
+			return nil, fmt.Errorf("file %q line %d: %v", name, lineNo+1, err)
+		}
+		pts = append(pts, p)
+	}
+	if len(pts) == 0 {
+		return nil, fmt.Errorf("file %q contains no points", name)
+	}
+	return pts, nil
 }
 
 // EstimateResponse is the reply to estimate and cost endpoints.
@@ -227,14 +393,23 @@ type EstimateResponse struct {
 	TookNs   int64   `json:"took_ns"`
 }
 
-func (s *Server) relationParam(w http.ResponseWriter, r *http.Request, param string) (*relation, bool) {
-	name := r.URL.Query().Get(param)
-	rel, ok := s.relations[name]
-	if !ok {
-		badRequest(w, "unknown relation %q (have %v)", name, s.names)
+// resolveRelation looks name up in v. A name with no published snapshot is
+// 503 + Retry-After when the store knows it (a build is pending or failed)
+// and 400 when it does not; ok is false after either response was written.
+func (s *Server) resolveRelation(w http.ResponseWriter, v *store.View, name string) (*store.Snapshot, bool) {
+	if snap := v.Relation(name); snap != nil {
+		return snap, true
+	}
+	if st, known := s.store.Status(name); known {
+		notReady(w, st)
 		return nil, false
 	}
-	return rel, true
+	badRequest(w, "unknown relation %q (have %v)", name, v.Names())
+	return nil, false
+}
+
+func (s *Server) relationParam(w http.ResponseWriter, r *http.Request, v *store.View, param string) (*store.Snapshot, bool) {
+	return s.resolveRelation(w, v, r.URL.Query().Get(param))
 }
 
 func queryFloat(r *http.Request, name string) (float64, error) {
@@ -263,7 +438,7 @@ func queryK(r *http.Request) (int, error) {
 }
 
 func (s *Server) handleEstimateSelect(w http.ResponseWriter, r *http.Request) {
-	rel, ok := s.relationParam(w, r, "rel")
+	rel, ok := s.relationParam(w, r, s.store.View(), "rel")
 	if !ok {
 		return
 	}
@@ -293,22 +468,22 @@ func (s *Server) handleEstimateSelect(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, EstimateResponse{
-		Relation: rel.name, K: k, Method: method,
+		Relation: rel.Name, K: k, Method: method,
 		Blocks: blocks, TookNs: time.Since(start).Nanoseconds(),
 	})
 }
 
 // selectEstimator resolves a select-method name for rel; ok is false after
 // an error response has been written.
-func (s *Server) selectEstimator(w http.ResponseWriter, rel *relation, method string) (core.SelectEstimator, string, bool) {
+func (s *Server) selectEstimator(w http.ResponseWriter, rel *store.Snapshot, method string) (core.SelectEstimator, string, bool) {
 	if method == "" {
 		method = "staircase"
 	}
 	switch method {
 	case "staircase":
-		return estimatorHook(rel.staircase), method, true
+		return estimatorHook(rel.Staircase), method, true
 	case "density":
-		return estimatorHook(rel.density), method, true
+		return estimatorHook(rel.Density), method, true
 	default:
 		badRequest(w, "unknown select method %q (want staircase or density)", method)
 		return nil, method, false
@@ -395,9 +570,8 @@ func (s *Server) handleEstimateSelectBatch(w http.ResponseWriter, r *http.Reques
 		badRequest(w, "decoding batch request: %v", err)
 		return
 	}
-	rel, ok := s.relations[req.Relation]
+	rel, ok := s.resolveRelation(w, s.store.View(), req.Relation)
 	if !ok {
-		badRequest(w, "unknown relation %q (have %v)", req.Relation, s.names)
 		return
 	}
 	est, method, ok := s.selectEstimator(w, rel, req.Method)
@@ -441,11 +615,15 @@ func (s *Server) handleEstimateSelectBatch(w http.ResponseWriter, r *http.Reques
 }
 
 func (s *Server) handleEstimateJoin(w http.ResponseWriter, r *http.Request) {
-	outer, ok := s.relationParam(w, r, "outer")
+	// One View load covers both relations and the pair merge, so the two
+	// snapshots and the merge always belong to the same published schema
+	// even while rebuilds hot-swap underneath.
+	v := s.store.View()
+	outer, ok := s.relationParam(w, r, v, "outer")
 	if !ok {
 		return
 	}
-	inner, ok := s.relationParam(w, r, "inner")
+	inner, ok := s.relationParam(w, r, v, "inner")
 	if !ok {
 		return
 	}
@@ -465,11 +643,20 @@ func (s *Server) handleEstimateJoin(w http.ResponseWriter, r *http.Request) {
 	var est core.JoinEstimator
 	switch method {
 	case "catalogmerge":
-		est = s.merges[[2]string{outer.name, inner.name}]
+		cm := v.Merge(outer.Name, inner.Name)
+		if cm == nil {
+			// Both snapshots are published, so the pair merge exists in
+			// every View unless its construction failed; retrying cannot
+			// help until a republish rebuilds it.
+			writeJSON(w, http.StatusInternalServerError,
+				errorResponse{Error: fmt.Sprintf("catalog-merge %s⋉%s unavailable", outer.Name, inner.Name)})
+			return
+		}
+		est = cm
 	case "virtualgrid":
-		est = inner.vgrid.Bind(outer.count)
+		est = inner.VGrid.Bind(outer.Count)
 	case "blocksample":
-		est = core.NewBlockSample(outer.count, inner.count, s.opt.SampleSize)
+		est = core.NewBlockSample(outer.Count, inner.Count, s.opt.SampleSize)
 	default:
 		badRequest(w, "unknown join method %q (want catalogmerge, virtualgrid or blocksample)", method)
 		return
@@ -481,13 +668,13 @@ func (s *Server) handleEstimateJoin(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, EstimateResponse{
-		Outer: outer.name, Inner: inner.name, K: k, Method: method,
+		Outer: outer.Name, Inner: inner.Name, K: k, Method: method,
 		Blocks: blocks, TookNs: time.Since(start).Nanoseconds(),
 	})
 }
 
 func (s *Server) handleCostSelect(w http.ResponseWriter, r *http.Request) {
-	rel, ok := s.relationParam(w, r, "rel")
+	rel, ok := s.relationParam(w, r, s.store.View(), "rel")
 	if !ok {
 		return
 	}
@@ -507,23 +694,24 @@ func (s *Server) handleCostSelect(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	start := time.Now()
-	cost, err := costSelect(r.Context(), rel.tree, geom.Point{X: x, Y: y}, k)
+	cost, err := costSelect(r.Context(), rel.Tree, geom.Point{X: x, Y: y}, k)
 	if err != nil {
 		writeCancelled(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, EstimateResponse{
-		Relation: rel.name, K: k, Method: "actual",
+		Relation: rel.Name, K: k, Method: "actual",
 		Blocks: float64(cost), TookNs: time.Since(start).Nanoseconds(),
 	})
 }
 
 func (s *Server) handleCostJoin(w http.ResponseWriter, r *http.Request) {
-	outer, ok := s.relationParam(w, r, "outer")
+	v := s.store.View()
+	outer, ok := s.relationParam(w, r, v, "outer")
 	if !ok {
 		return
 	}
-	inner, ok := s.relationParam(w, r, "inner")
+	inner, ok := s.relationParam(w, r, v, "inner")
 	if !ok {
 		return
 	}
@@ -537,13 +725,13 @@ func (s *Server) handleCostJoin(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	start := time.Now()
-	cost, err := costJoin(r.Context(), outer.count, inner.count, k)
+	cost, err := costJoin(r.Context(), outer.Count, inner.Count, k)
 	if err != nil {
 		writeCancelled(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, EstimateResponse{
-		Outer: outer.name, Inner: inner.name, K: k, Method: "actual",
+		Outer: outer.Name, Inner: inner.Name, K: k, Method: "actual",
 		Blocks: float64(cost), TookNs: time.Since(start).Nanoseconds(),
 	})
 }

@@ -72,6 +72,9 @@ func TestRelations(t *testing.T) {
 		if r.NumPoints == 0 || r.NumBlocks == 0 || r.StaircaseBytes == 0 || r.VirtualGridBytes == 0 {
 			t.Errorf("relation %q has zero-valued fields: %+v", r.Name, r)
 		}
+		if r.State != "ready" || r.Version != 1 {
+			t.Errorf("relation %q: state %q version %d, want ready v1", r.Name, r.State, r.Version)
+		}
 	}
 }
 

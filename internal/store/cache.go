@@ -1,0 +1,350 @@
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"knncost/internal/core"
+	"knncost/internal/geom"
+	"knncost/internal/index"
+)
+
+// The disk cache gives the store warm restarts: catalogs are persisted in
+// the internal/core binary formats, content-addressed by a fingerprint of
+// the point data and the build options, so a restarted process loads in
+// milliseconds what a cold one computes in seconds. Layout under the cache
+// directory:
+//
+//	registry.json                  name → fingerprint of live relations
+//	cat/<fp>/manifest.json         versioned build-parameter manifest
+//	cat/<fp>/points.bin            the relation's points (rebuilds the index)
+//	cat/<fp>/staircase.bin         core.Staircase (KNCS format)
+//	cat/<fp>/vgrid.bin             core.VirtualGrid (KNVG format)
+//	merge/<fpOuter>-<fpInner>.bin  core.CatalogMerge (KNCM format)
+//
+// Everything is written atomically (temp file + rename) and every load
+// failure is treated as a cache miss, never an error: the worst corrupt
+// cache can do is force a rebuild.
+
+// cacheFormat is the manifest/registry format version; bump on any change
+// to the layout or to what a fingerprint covers.
+const cacheFormat = 1
+
+// manifest records the parameters a cached relation was built with. A
+// manifest that does not match the store's current options is a miss (the
+// fingerprint covers the same fields, so in practice mismatch means a
+// hand-edited cache).
+type manifest struct {
+	Format     int `json:"format"`
+	NumPoints  int `json:"num_points"`
+	NumBlocks  int `json:"num_blocks"`
+	MaxK       int `json:"max_k"`
+	SampleSize int `json:"sample_size"`
+	GridSize   int `json:"grid_size"`
+	Capacity   int `json:"capacity"`
+}
+
+// registryEntry names one live relation and its cached fingerprint.
+type registryEntry struct {
+	Name        string `json:"name"`
+	Fingerprint string `json:"fingerprint"`
+}
+
+type registryFile struct {
+	Format    int             `json:"format"`
+	Relations []registryEntry `json:"relations"`
+}
+
+// diskCache serializes registry writes internally; catalog files are
+// content-addressed and idempotent, so concurrent workers writing the same
+// fingerprint converge on identical bytes.
+type diskCache struct {
+	dir string
+	mu  sync.Mutex // guards registry.json read-modify-write
+}
+
+func openDiskCache(dir string) (*diskCache, error) {
+	for _, sub := range []string{"cat", "merge"} {
+		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
+			return nil, err
+		}
+	}
+	return &diskCache{dir: dir}, nil
+}
+
+// fingerprint hashes the point data together with every build parameter
+// that shapes the catalogs. Two relations with the same fingerprint produce
+// bit-identical catalogs; any change to points or options changes it.
+func (s *Store) fingerprint(pts []geom.Point) string {
+	h := sha256.New()
+	var hdr [64]byte
+	n := binary.PutVarint(hdr[:], int64(cacheFormat))
+	for _, v := range []int{s.opt.MaxK, s.opt.SampleSize, s.opt.GridSize, s.opt.IndexCapacity, len(pts)} {
+		n += binary.PutVarint(hdr[n:], int64(v))
+	}
+	h.Write(hdr[:n])
+	for _, f := range []float64{s.opt.Bounds.Min.X, s.opt.Bounds.Min.Y, s.opt.Bounds.Max.X, s.opt.Bounds.Max.Y} {
+		binary.LittleEndian.PutUint64(hdr[:8], math.Float64bits(f))
+		h.Write(hdr[:8])
+	}
+	// Hash points in 4 KiB batches; one Write per point would dominate.
+	buf := make([]byte, 0, 4096)
+	for _, p := range pts {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(p.X))
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(p.Y))
+		if len(buf) >= 4096-16 {
+			h.Write(buf)
+			buf = buf[:0]
+		}
+	}
+	h.Write(buf)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+func shortFP(fp string) string {
+	if len(fp) > 12 {
+		return fp[:12]
+	}
+	return fp
+}
+
+func (c *diskCache) catDir(fp string) string { return filepath.Join(c.dir, "cat", fp) }
+
+func (c *diskCache) mergePath(fpOuter, fpInner string) string {
+	return filepath.Join(c.dir, "merge", fpOuter+"-"+fpInner+".bin")
+}
+
+// writeAtomic writes data to path via a temp file + rename, so readers
+// never observe a partial file and a crash never corrupts an entry.
+func writeAtomic(path string, write func(f *os.File) error) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if err := write(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// --- relation artifacts ----------------------------------------------------
+
+func (c *diskCache) loadManifest(fp string) (manifest, bool) {
+	data, err := os.ReadFile(filepath.Join(c.catDir(fp), "manifest.json"))
+	if err != nil {
+		return manifest{}, false
+	}
+	var m manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return manifest{}, false
+	}
+	return m, true
+}
+
+// loadRelation loads the staircase and virtual grid for fp against the
+// given (freshly rebuilt) data index.
+func (c *diskCache) loadRelation(fp string, tree *index.Tree, opt core.StaircaseOptions) (*core.Staircase, *core.VirtualGrid, error) {
+	sf, err := os.Open(filepath.Join(c.catDir(fp), "staircase.bin"))
+	if err != nil {
+		return nil, nil, err
+	}
+	defer sf.Close()
+	stair, err := core.LoadStaircase(tree, sf, opt)
+	if err != nil {
+		return nil, nil, fmt.Errorf("staircase: %w", err)
+	}
+	vf, err := os.Open(filepath.Join(c.catDir(fp), "vgrid.bin"))
+	if err != nil {
+		return nil, nil, err
+	}
+	defer vf.Close()
+	vg, err := core.LoadVirtualGrid(vf)
+	if err != nil {
+		return nil, nil, fmt.Errorf("virtual grid: %w", err)
+	}
+	return stair, vg, nil
+}
+
+// storeRelation persists every artifact of one relation build. The manifest
+// is written last: its presence marks the entry complete.
+func (c *diskCache) storeRelation(fp string, m manifest, pts []geom.Point, stair *core.Staircase, vg *core.VirtualGrid) error {
+	dir := c.catDir(fp)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	if err := writeAtomic(filepath.Join(dir, "points.bin"), func(f *os.File) error {
+		return writePoints(f, pts)
+	}); err != nil {
+		return fmt.Errorf("points: %w", err)
+	}
+	if err := writeAtomic(filepath.Join(dir, "staircase.bin"), func(f *os.File) error {
+		_, err := stair.WriteTo(f)
+		return err
+	}); err != nil {
+		return fmt.Errorf("staircase: %w", err)
+	}
+	if err := writeAtomic(filepath.Join(dir, "vgrid.bin"), func(f *os.File) error {
+		_, err := vg.WriteTo(f)
+		return err
+	}); err != nil {
+		return fmt.Errorf("virtual grid: %w", err)
+	}
+	if err := writeAtomic(filepath.Join(dir, "manifest.json"), func(f *os.File) error {
+		return json.NewEncoder(f).Encode(m)
+	}); err != nil {
+		return fmt.Errorf("manifest: %w", err)
+	}
+	return nil
+}
+
+func (c *diskCache) loadMerge(fpOuter, fpInner string) (*core.CatalogMerge, error) {
+	f, err := os.Open(c.mergePath(fpOuter, fpInner))
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return core.LoadCatalogMerge(f)
+}
+
+func (c *diskCache) storeMerge(fpOuter, fpInner string, m *core.CatalogMerge) error {
+	return writeAtomic(c.mergePath(fpOuter, fpInner), func(f *os.File) error {
+		_, err := m.WriteTo(f)
+		return err
+	})
+}
+
+// --- points file -----------------------------------------------------------
+
+const pointsMagic = "KNPT\x01"
+
+// maxCachedPoints bounds what loadPoints will allocate for a hostile or
+// corrupt count field (64 MiB of points).
+const maxCachedPoints = 4 << 20
+
+func writePoints(f *os.File, pts []geom.Point) error {
+	buf := make([]byte, 0, 1<<16)
+	buf = append(buf, pointsMagic...)
+	buf = binary.AppendUvarint(buf, uint64(len(pts)))
+	for _, p := range pts {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(p.X))
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(p.Y))
+		if len(buf) >= 1<<16-16 {
+			if _, err := f.Write(buf); err != nil {
+				return err
+			}
+			buf = buf[:0]
+		}
+	}
+	_, err := f.Write(buf)
+	return err
+}
+
+func (c *diskCache) loadPoints(fp string) ([]geom.Point, error) {
+	data, err := os.ReadFile(filepath.Join(c.catDir(fp), "points.bin"))
+	if err != nil {
+		return nil, err
+	}
+	if len(data) < len(pointsMagic) || string(data[:len(pointsMagic)]) != pointsMagic {
+		return nil, errors.New("points file: bad magic")
+	}
+	data = data[len(pointsMagic):]
+	n, sz := binary.Uvarint(data)
+	if sz <= 0 {
+		return nil, errors.New("points file: truncated count")
+	}
+	data = data[sz:]
+	if n > maxCachedPoints || uint64(len(data)) != 16*n {
+		return nil, fmt.Errorf("points file: %d points does not match %d payload bytes", n, len(data))
+	}
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i].X = math.Float64frombits(binary.LittleEndian.Uint64(data[16*i:]))
+		pts[i].Y = math.Float64frombits(binary.LittleEndian.Uint64(data[16*i+8:]))
+	}
+	return pts, nil
+}
+
+// --- registry --------------------------------------------------------------
+
+func (c *diskCache) registryPath() string { return filepath.Join(c.dir, "registry.json") }
+
+// registry returns the recorded live relations, sorted by name. A missing
+// or corrupt registry is an empty one.
+func (c *diskCache) registry() []registryEntry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.readRegistryLocked()
+}
+
+func (c *diskCache) readRegistryLocked() []registryEntry {
+	data, err := os.ReadFile(c.registryPath())
+	if err != nil {
+		return nil
+	}
+	var r registryFile
+	if err := json.Unmarshal(data, &r); err != nil || r.Format != cacheFormat {
+		return nil
+	}
+	sort.Slice(r.Relations, func(i, j int) bool { return r.Relations[i].Name < r.Relations[j].Name })
+	return r.Relations
+}
+
+// remember records name → fp in the registry (replacing any previous
+// fingerprint for name).
+func (c *diskCache) remember(name, fp string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	entries := c.readRegistryLocked()
+	out := entries[:0]
+	for _, e := range entries {
+		if e.Name != name {
+			out = append(out, e)
+		}
+	}
+	out = append(out, registryEntry{Name: name, Fingerprint: fp})
+	return c.writeRegistryLocked(out)
+}
+
+// forget removes name from the registry. Cached artifacts stay: the cache
+// is content-addressed and re-registering the same data warm-loads.
+func (c *diskCache) forget(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	entries := c.readRegistryLocked()
+	out := entries[:0]
+	changed := false
+	for _, e := range entries {
+		if e.Name == name {
+			changed = true
+			continue
+		}
+		out = append(out, e)
+	}
+	if !changed {
+		return nil
+	}
+	return c.writeRegistryLocked(out)
+}
+
+func (c *diskCache) writeRegistryLocked(entries []registryEntry) error {
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Name < entries[j].Name })
+	return writeAtomic(c.registryPath(), func(f *os.File) error {
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		return enc.Encode(registryFile{Format: cacheFormat, Relations: entries})
+	})
+}

@@ -1,0 +1,854 @@
+// Package store owns the full lifecycle of the relation catalogs the
+// estimation service serves: registration, background catalog construction,
+// atomic hot swap of rebuilt versions, dropping, and a warm-restart disk
+// cache.
+//
+// The paper's deployment scenario is a long-running optimizer answering
+// "thousands of queries per second"; at that rate the relation schema cannot
+// be frozen at boot. The store makes relations dynamic without ever blocking
+// the estimate hot path:
+//
+//   - Every relation is published as an immutable, versioned Snapshot
+//     (data index, Count-Index, staircase, density, Virtual-Grid). Snapshots
+//     never change after publication.
+//   - All published snapshots — plus the per-ordered-pair Catalog-Merge
+//     estimators and the listing metadata — live in a single immutable View
+//     swapped in with one atomic pointer store (RCU, the same model an
+//     inference server uses for hot model swaps). An in-flight estimate that
+//     loaded a View keeps a fully consistent schema for its whole lifetime;
+//     a rebuild, drop or registration never mutates anything a reader can
+//     see. View resolution is one atomic load plus a map lookup and performs
+//     zero heap allocations (a test pins this).
+//   - Catalog construction runs on a bounded background worker pool. Builds
+//     for the same relation are deduplicated: re-registering a queued
+//     relation supersedes the queued build in place, and re-registering one
+//     that is mid-build cancels the running build's context and schedules a
+//     fresh one. Every build carries a status (queued → building →
+//     ready | failed) observable per relation and in listings.
+//   - With a cache directory configured, built catalogs are persisted in the
+//     internal/core binary formats keyed by a fingerprint of the point data
+//     and build options, next to a small versioned manifest and the points
+//     themselves. A restarted store re-registers the cached relations and
+//     loads their catalogs instead of rebuilding — warm restarts cost
+//     index-rebuild milliseconds, not catalog-build seconds.
+package store
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"knncost/internal/core"
+	"knncost/internal/geom"
+	"knncost/internal/index"
+	"knncost/internal/quadtree"
+)
+
+// State is the build status of a relation.
+type State int32
+
+const (
+	// StateQueued means a build is waiting for a worker. A previously
+	// published snapshot (if any) keeps serving meanwhile.
+	StateQueued State = iota + 1
+	// StateBuilding means a worker is constructing the catalogs.
+	StateBuilding
+	// StateReady means the latest registered version is published.
+	StateReady
+	// StateFailed means the latest build errored; Error carries the cause.
+	// A previously published snapshot (if any) keeps serving.
+	StateFailed
+)
+
+// String implements fmt.Stringer; the values are the wire strings of the
+// service's status endpoints.
+func (s State) String() string {
+	switch s {
+	case StateQueued:
+		return "queued"
+	case StateBuilding:
+		return "building"
+	case StateReady:
+		return "ready"
+	case StateFailed:
+		return "failed"
+	default:
+		return fmt.Sprintf("State(%d)", int32(s))
+	}
+}
+
+// Options configure a Store.
+type Options struct {
+	// MaxK is the largest catalog-maintained k. Zero means core.DefaultMaxK.
+	MaxK int
+	// SampleSize is the Catalog-Merge sample size. Zero means 200.
+	SampleSize int
+	// GridSize is the Virtual-Grid dimension. Zero means 10.
+	GridSize int
+	// IndexCapacity is the quadtree leaf capacity used when a relation is
+	// registered from raw points. Zero means 256.
+	IndexCapacity int
+	// Bounds is the index bounds for point-registered relations. The zero
+	// rectangle means "compute from the points".
+	Bounds geom.Rect
+	// Workers is the build-pool size. Zero means GOMAXPROCS.
+	Workers int
+	// QueueLen bounds pending build signals; registrations beyond it fail
+	// with ErrQueueFull. Zero means 256.
+	QueueLen int
+	// CacheDir enables the warm-restart disk cache. Empty disables it.
+	CacheDir string
+	// Logger receives cache warnings and build logs. Nil means the standard
+	// logger.
+	Logger *log.Logger
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxK == 0 {
+		o.MaxK = core.DefaultMaxK
+	}
+	if o.SampleSize == 0 {
+		o.SampleSize = 200
+	}
+	if o.GridSize == 0 {
+		o.GridSize = 10
+	}
+	if o.IndexCapacity == 0 {
+		o.IndexCapacity = 256
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.QueueLen <= 0 {
+		o.QueueLen = 256
+	}
+	return o
+}
+
+func (o Options) logger() *log.Logger {
+	if o.Logger != nil {
+		return o.Logger
+	}
+	return log.Default()
+}
+
+// Snapshot is one immutable published version of a relation: the data index
+// and every per-relation estimator, built together from the same points.
+// All fields are read-only after publication; sharing a Snapshot across any
+// number of goroutines is safe.
+type Snapshot struct {
+	// Name is the relation name.
+	Name string
+	// Version counts publications of this relation, starting at 1.
+	Version uint64
+	// Fingerprint identifies the point data + build options; empty for
+	// relations registered from a pre-built index (not cacheable).
+	Fingerprint string
+	// Tree is the data index (points included).
+	Tree *index.Tree
+	// Count is the Count-Index derived from Tree.
+	Count *index.Tree
+	// Staircase is the paper's k-NN-Select estimator (§3).
+	Staircase *core.Staircase
+	// Density is the density-based baseline estimator.
+	Density *core.DensityBased
+	// VGrid is the Virtual-Grid join estimator built over Count (§4.3).
+	VGrid *core.VirtualGrid
+	// StaircaseBytes and VGridBytes are the serialized catalog sizes,
+	// computed once at publication.
+	StaircaseBytes int
+	VGridBytes     int
+}
+
+// RelationStatus is the externally visible state of one relation, as served
+// by listings and status endpoints. It is a value type copied out of the
+// store, never a live reference.
+type RelationStatus struct {
+	Name    string `json:"name"`
+	State   string `json:"state"`
+	Version uint64 `json:"version"`
+	Error   string `json:"error,omitempty"`
+	// The remaining fields describe the published snapshot and are zero
+	// until the first publication.
+	NumPoints        int `json:"num_points"`
+	NumBlocks        int `json:"num_blocks"`
+	StaircaseBytes   int `json:"staircase_bytes"`
+	VirtualGridBytes int `json:"virtual_grid_bytes"`
+}
+
+// View is an immutable snapshot of the whole store: every published
+// relation, every per-ordered-pair Catalog-Merge, and the listing. A View
+// loaded once stays internally consistent forever; later registrations,
+// rebuilds and drops produce new Views without touching old ones.
+type View struct {
+	relations map[string]*Snapshot
+	merges    map[[2]string]*core.CatalogMerge
+	names     []string         // sorted names of published relations
+	statuses  []RelationStatus // sorted listing incl. unpublished relations
+}
+
+var emptyView = &View{
+	relations: map[string]*Snapshot{},
+	merges:    map[[2]string]*core.CatalogMerge{},
+}
+
+// Relation returns the published snapshot for name, or nil. It performs no
+// heap allocations.
+func (v *View) Relation(name string) *Snapshot { return v.relations[name] }
+
+// Merge returns the Catalog-Merge estimator for the ordered pair
+// (outer, inner), or nil. Every ordered pair of relations published in the
+// same View has an entry.
+func (v *View) Merge(outer, inner string) *core.CatalogMerge {
+	return v.merges[[2]string{outer, inner}]
+}
+
+// Names returns the sorted names of the published relations. The slice is
+// shared; callers must not modify it.
+func (v *View) Names() []string { return v.names }
+
+// List returns the status of every relation known when the View was
+// published (including queued, building and failed ones), sorted by name.
+// The slice is shared; callers must not modify it.
+func (v *View) List() []RelationStatus { return v.statuses }
+
+// NumRelations returns the number of published relations.
+func (v *View) NumRelations() int { return len(v.relations) }
+
+// entry is the store's mutable bookkeeping for one relation, guarded by
+// Store.mu. The published Snapshot itself is immutable; entry tracks which
+// build generation is wanted, which is published, and the build status.
+type entry struct {
+	name string
+	// gen counts registrations; a finished build publishes only if its
+	// generation is still current (stale builds are discarded silently).
+	gen uint64
+	// state is the externally visible build status.
+	state State
+	err   string
+	// pendingPts / pendingTree is the source of the wanted generation.
+	pendingPts  []geom.Point
+	pendingTree *index.Tree
+	// snap is the currently published snapshot, nil before first publish.
+	snap *Snapshot
+	// cancel aborts the in-flight build when superseded or dropped.
+	cancel context.CancelFunc
+}
+
+// ErrQueueFull is returned by Register when the build queue is saturated.
+var ErrQueueFull = errors.New("store: build queue full")
+
+// ErrClosed is returned by Register after Close.
+var ErrClosed = errors.New("store: closed")
+
+// Store is a concurrent, versioned relation store. The zero value is not
+// usable; call New.
+type Store struct {
+	opt   Options
+	cache *diskCache // nil without CacheDir
+
+	view atomic.Pointer[View]
+
+	mu      sync.Mutex
+	entries map[string]*entry
+	closed  bool
+
+	jobs   chan string // build signals; one per Queued transition
+	wg     sync.WaitGroup
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	// catalogBuilds counts catalogs actually constructed (staircase,
+	// virtual grid, catalog-merge); warm restarts that load everything from
+	// the disk cache leave it at zero — the soak smoke asserts exactly that.
+	catalogBuilds atomic.Int64
+	// cacheHits counts catalogs loaded from the disk cache instead of built.
+	cacheHits atomic.Int64
+}
+
+// New creates a Store and starts its build workers. When CacheDir is set,
+// relations recorded in the cache registry are re-registered immediately
+// (their builds resolve from the cache, so they become ready without any
+// catalog construction).
+func New(opt Options) (*Store, error) {
+	opt = opt.withDefaults()
+	s := &Store{
+		opt:     opt,
+		entries: map[string]*entry{},
+		jobs:    make(chan string, opt.QueueLen),
+	}
+	s.view.Store(emptyView)
+	s.ctx, s.cancel = context.WithCancel(context.Background())
+	if opt.CacheDir != "" {
+		c, err := openDiskCache(opt.CacheDir)
+		if err != nil {
+			return nil, fmt.Errorf("store: opening cache: %w", err)
+		}
+		s.cache = c
+	}
+	for i := 0; i < opt.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	if s.cache != nil {
+		s.restoreFromRegistry()
+	}
+	return s, nil
+}
+
+// restoreFromRegistry re-registers every relation the cache registry names,
+// sourcing points from the cached points file. Unreadable entries are logged
+// and skipped; they will simply be cold next time they are registered.
+func (s *Store) restoreFromRegistry() {
+	for _, reg := range s.cache.registry() {
+		pts, err := s.cache.loadPoints(reg.Fingerprint)
+		if err != nil {
+			s.opt.logger().Printf("store: cache registry %q: %v (skipping)", reg.Name, err)
+			continue
+		}
+		if _, err := s.Register(reg.Name, pts); err != nil {
+			s.opt.logger().Printf("store: re-registering cached %q: %v", reg.Name, err)
+		}
+	}
+}
+
+// Options returns the store's effective (defaulted) options.
+func (s *Store) Options() Options { return s.opt }
+
+// View returns the current immutable view. The returned pointer is safe to
+// use for any number of lookups; it never blocks and never observes a
+// half-published schema.
+func (s *Store) View() *View { return s.view.Load() }
+
+// CatalogBuilds returns the number of catalogs constructed so far (cache
+// hits excluded).
+func (s *Store) CatalogBuilds() int64 { return s.catalogBuilds.Load() }
+
+// CacheHits returns the number of catalogs loaded from the disk cache.
+func (s *Store) CacheHits() int64 { return s.cacheHits.Load() }
+
+// validateName rejects names that would be unusable in URLs or cache paths.
+func validateName(name string) error {
+	if name == "" || len(name) > 64 {
+		return fmt.Errorf("store: relation name must be 1-64 characters, got %d", len(name))
+	}
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '_', r == '-', r == '.':
+		default:
+			return fmt.Errorf("store: relation name %q contains %q (allowed: letters, digits, '_', '-', '.')", name, r)
+		}
+	}
+	return nil
+}
+
+// Register schedules a (re)build of name from the given points and returns
+// the resulting status (queued). If name is already registered, the new
+// points supersede the old ones: a queued build picks them up in place, a
+// running build is cancelled and re-scheduled, and a published snapshot
+// keeps serving until the new version is ready. The call never waits for
+// the build; use WaitReady or Status to observe completion.
+func (s *Store) Register(name string, pts []geom.Point) (RelationStatus, error) {
+	if err := validateName(name); err != nil {
+		return RelationStatus{}, err
+	}
+	if len(pts) == 0 {
+		return RelationStatus{}, fmt.Errorf("store: relation %q has no points", name)
+	}
+	for i, p := range pts {
+		if !finite(p.X) || !finite(p.Y) {
+			return RelationStatus{}, fmt.Errorf("store: relation %q point %d is not finite: %v", name, i, p)
+		}
+	}
+	return s.submit(name, pts, nil)
+}
+
+// RegisterIndex schedules a build of name over a pre-built data index. The
+// index is used as-is (any index.Tree works, including non-partitioning
+// ones); because the store cannot reproduce an arbitrary index from disk,
+// index-registered relations bypass the warm-restart cache.
+func (s *Store) RegisterIndex(name string, tree *index.Tree) (RelationStatus, error) {
+	if err := validateName(name); err != nil {
+		return RelationStatus{}, err
+	}
+	if tree == nil || tree.NumBlocks() == 0 {
+		return RelationStatus{}, fmt.Errorf("store: relation %q has no blocks", name)
+	}
+	return s.submit(name, nil, tree)
+}
+
+func (s *Store) submit(name string, pts []geom.Point, tree *index.Tree) (RelationStatus, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return RelationStatus{}, ErrClosed
+	}
+	e := s.entries[name]
+	needSignal := e == nil || e.state != StateQueued
+	if needSignal {
+		// Reserve the queue slot before mutating anything, so a saturated
+		// queue leaves the store untouched.
+		select {
+		case s.jobs <- name:
+		default:
+			return RelationStatus{}, ErrQueueFull
+		}
+	}
+	if e == nil {
+		e = &entry{name: name}
+		s.entries[name] = e
+	}
+	e.gen++
+	e.pendingPts, e.pendingTree = pts, tree
+	if e.state == StateBuilding && e.cancel != nil {
+		e.cancel() // supersede the in-flight build
+	}
+	e.state = StateQueued
+	e.err = ""
+	s.republishLocked()
+	return e.statusLocked(), nil
+}
+
+// Drop removes a relation: pending and running builds are cancelled, the
+// published snapshot (if any) leaves the next View, and the cache registry
+// forgets the name (cached artifacts stay on disk — the cache is
+// content-addressed and a re-registration of the same data warm-loads).
+// In-flight estimates holding an older View keep working on the snapshot
+// they resolved. It reports whether the relation existed.
+func (s *Store) Drop(name string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e := s.entries[name]
+	if e == nil {
+		return false
+	}
+	if e.cancel != nil {
+		e.cancel()
+	}
+	delete(s.entries, name)
+	s.republishLocked()
+	if s.cache != nil {
+		if err := s.cache.forget(name); err != nil {
+			s.opt.logger().Printf("store: updating cache registry after dropping %q: %v", name, err)
+		}
+	}
+	return true
+}
+
+// Status returns the current status of name.
+func (s *Store) Status(name string) (RelationStatus, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e := s.entries[name]
+	if e == nil {
+		return RelationStatus{}, false
+	}
+	return e.statusLocked(), true
+}
+
+// WaitReady blocks until every named relation is ready, any of them fails
+// (the first failure is returned as an error), or ctx expires. With no
+// names it waits for every relation known at call time.
+func (s *Store) WaitReady(ctx context.Context, names ...string) error {
+	if len(names) == 0 {
+		s.mu.Lock()
+		for name := range s.entries {
+			names = append(names, name)
+		}
+		s.mu.Unlock()
+	}
+	tick := time.NewTicker(2 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		done := true
+		s.mu.Lock()
+		var failed error
+		for _, name := range names {
+			e := s.entries[name]
+			if e == nil {
+				failed = fmt.Errorf("store: relation %q is not registered", name)
+				break
+			}
+			switch e.state {
+			case StateReady:
+			case StateFailed:
+				failed = fmt.Errorf("store: building %q: %s", name, e.err)
+			default:
+				done = false
+			}
+			if failed != nil {
+				break
+			}
+		}
+		s.mu.Unlock()
+		if failed != nil {
+			return failed
+		}
+		if done {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-tick.C:
+		}
+	}
+}
+
+// Close drains the build pool: no new registrations are accepted, queued
+// builds are skipped, and in-flight builds get until ctx expires to finish
+// before being cancelled. Close always waits for the workers to exit.
+func (s *Store) Close(ctx context.Context) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return nil
+	}
+	s.closed = true
+	close(s.jobs)
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = ctx.Err()
+		s.cancel() // hard-cancel in-flight builds; they abort between stages
+		<-done
+	}
+	s.cancel()
+	return err
+}
+
+func (s *Store) worker() {
+	defer s.wg.Done()
+	for name := range s.jobs {
+		s.runJob(name)
+	}
+}
+
+// runJob consumes one build signal. The signal's relation may have been
+// dropped, superseded or already picked up by another worker; the
+// generation check at publish time makes any stale outcome a silent no-op.
+func (s *Store) runJob(name string) {
+	s.mu.Lock()
+	e := s.entries[name]
+	if e == nil || s.closed || e.state != StateQueued {
+		s.mu.Unlock()
+		return
+	}
+	gen := e.gen
+	pts, tree := e.pendingPts, e.pendingTree
+	ctx, cancel := context.WithCancel(s.ctx)
+	e.cancel = cancel
+	e.state = StateBuilding
+	s.republishLocked()
+	s.mu.Unlock()
+
+	built, err := s.buildCatalogs(ctx, name, pts, tree)
+	cancel()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cur := s.entries[name]
+	if cur == nil || cur.gen != gen {
+		return // dropped or superseded while building; discard
+	}
+	cur.cancel = nil
+	if err != nil {
+		if ctx.Err() != nil {
+			err = fmt.Errorf("build cancelled: %w", err)
+		}
+		cur.state = StateFailed
+		cur.err = err.Error()
+		s.republishLocked()
+		s.opt.logger().Printf("store: building %q: %v", name, err)
+		return
+	}
+	s.publishLocked(cur, built)
+}
+
+// builtRelation carries a finished per-relation build from the worker into
+// the publish step.
+type builtRelation struct {
+	tree      *index.Tree
+	count     *index.Tree
+	staircase *core.Staircase
+	density   *core.DensityBased
+	vgrid     *core.VirtualGrid
+	fp        string // empty when not cacheable
+	fromCache bool
+}
+
+// buildCatalogs constructs (or cache-loads) every per-relation estimator.
+// It runs without any store lock; ctx aborts it between stages.
+func (s *Store) buildCatalogs(ctx context.Context, name string, pts []geom.Point, tree *index.Tree) (*builtRelation, error) {
+	b := &builtRelation{tree: tree}
+	if tree == nil {
+		bounds := s.opt.Bounds
+		if !bounds.Valid() || bounds.Width() <= 0 || bounds.Height() <= 0 {
+			bounds = boundsOf(pts)
+		}
+		b.tree = quadtree.Build(pts, quadtree.Options{
+			Capacity: s.opt.IndexCapacity,
+			Bounds:   bounds,
+		}).Index()
+		b.fp = s.fingerprint(pts)
+	}
+	if b.tree.NumBlocks() == 0 {
+		return nil, fmt.Errorf("relation %q indexed to zero blocks", name)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	b.count = b.tree.CountTree()
+	b.density = core.NewDensityBased(b.count)
+
+	if b.fp != "" && s.cache != nil {
+		if s.loadCachedCatalogs(b) {
+			b.fromCache = true
+			return b, nil
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	stair, err := core.BuildStaircase(b.tree, core.StaircaseOptions{
+		MaxK:     s.opt.MaxK,
+		Fallback: b.density,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("staircase: %w", err)
+	}
+	s.catalogBuilds.Add(1)
+	b.staircase = stair
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	vg, err := core.BuildVirtualGrid(b.count, s.opt.GridSize, s.opt.GridSize, s.opt.MaxK)
+	if err != nil {
+		return nil, fmt.Errorf("virtual grid: %w", err)
+	}
+	s.catalogBuilds.Add(1)
+	b.vgrid = vg
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if b.fp != "" && s.cache != nil {
+		if err := s.cache.storeRelation(b.fp, s.manifestFor(b, pts), pts, stair, vg); err != nil {
+			s.opt.logger().Printf("store: caching %q: %v (continuing uncached)", name, err)
+		}
+	}
+	return b, nil
+}
+
+// loadCachedCatalogs tries to satisfy a build from the disk cache. Any
+// mismatch or corruption is a miss, never an error: the caller rebuilds.
+func (s *Store) loadCachedCatalogs(b *builtRelation) bool {
+	m, ok := s.cache.loadManifest(b.fp)
+	if !ok || !s.manifestMatches(m, b) {
+		return false
+	}
+	stair, vg, err := s.cache.loadRelation(b.fp, b.tree, core.StaircaseOptions{Fallback: b.density})
+	if err != nil {
+		s.opt.logger().Printf("store: cache load %s: %v (rebuilding)", shortFP(b.fp), err)
+		return false
+	}
+	b.staircase, b.vgrid = stair, vg
+	s.cacheHits.Add(2) // staircase + virtual grid
+	return true
+}
+
+func (s *Store) manifestFor(b *builtRelation, pts []geom.Point) manifest {
+	return manifest{
+		Format:     cacheFormat,
+		NumPoints:  len(pts),
+		NumBlocks:  b.tree.NumBlocks(),
+		MaxK:       s.opt.MaxK,
+		SampleSize: s.opt.SampleSize,
+		GridSize:   s.opt.GridSize,
+		Capacity:   s.opt.IndexCapacity,
+	}
+}
+
+func (s *Store) manifestMatches(m manifest, b *builtRelation) bool {
+	return m.Format == cacheFormat &&
+		m.NumPoints == b.tree.NumPoints() &&
+		m.NumBlocks == b.tree.NumBlocks() &&
+		m.MaxK == s.opt.MaxK &&
+		m.SampleSize == s.opt.SampleSize &&
+		m.GridSize == s.opt.GridSize &&
+		m.Capacity == s.opt.IndexCapacity
+}
+
+// publishLocked turns a finished build into the next published version:
+// the relation's snapshot, the Catalog-Merge estimators pairing it with
+// every other published relation, and a fresh View. It runs under s.mu —
+// publication is serialized, which is what guarantees every View carries a
+// merge for every ordered pair of its relations. Readers never block on it.
+func (s *Store) publishLocked(e *entry, b *builtRelation) {
+	version := uint64(1)
+	if e.snap != nil {
+		version = e.snap.Version + 1
+	}
+	snap := &Snapshot{
+		Name:           e.name,
+		Version:        version,
+		Fingerprint:    b.fp,
+		Tree:           b.tree,
+		Count:          b.count,
+		Staircase:      b.staircase,
+		Density:        b.density,
+		VGrid:          b.vgrid,
+		StaircaseBytes: b.staircase.StorageBytes(),
+		VGridBytes:     b.vgrid.StorageBytes(),
+	}
+	e.snap = snap
+	e.state = StateReady
+	e.err = ""
+	e.pendingPts, e.pendingTree = nil, nil
+	s.republishLocked()
+	if s.cache != nil && b.fp != "" {
+		if err := s.cache.remember(e.name, b.fp); err != nil {
+			s.opt.logger().Printf("store: updating cache registry for %q: %v", e.name, err)
+		}
+	}
+}
+
+// republishLocked rebuilds and atomically swaps in the View from the
+// current entries. Merges for pairs whose snapshots are unchanged are
+// carried over from the previous View; missing pairs (a newly published or
+// republished relation) are built or cache-loaded here, under the lock, so
+// that concurrent publishes cannot each miss the other's relation.
+func (s *Store) republishLocked() {
+	old := s.view.Load()
+	v := &View{
+		relations: make(map[string]*Snapshot, len(s.entries)),
+		merges:    make(map[[2]string]*core.CatalogMerge, len(old.merges)),
+		names:     make([]string, 0, len(s.entries)),
+		statuses:  make([]RelationStatus, 0, len(s.entries)),
+	}
+	for name, e := range s.entries {
+		v.statuses = append(v.statuses, e.statusLocked())
+		if e.snap != nil {
+			v.relations[name] = e.snap
+			v.names = append(v.names, name)
+		}
+	}
+	sort.Strings(v.names)
+	sort.Slice(v.statuses, func(i, j int) bool { return v.statuses[i].Name < v.statuses[j].Name })
+	for _, outer := range v.names {
+		for _, inner := range v.names {
+			if outer == inner {
+				continue
+			}
+			pair := [2]string{outer, inner}
+			// Reuse the previous merge only if both endpoints are the very
+			// same snapshots it was built for.
+			if old.relations[outer] == v.relations[outer] && old.relations[inner] == v.relations[inner] {
+				if m := old.merges[pair]; m != nil {
+					v.merges[pair] = m
+					continue
+				}
+			}
+			m, err := s.mergeFor(v.relations[outer], v.relations[inner])
+			if err != nil {
+				// A merge failure must not unpublish the relations; the
+				// pair is simply absent and the join endpoint reports it.
+				s.opt.logger().Printf("store: catalog-merge %s⋉%s: %v", outer, inner, err)
+				continue
+			}
+			v.merges[pair] = m
+		}
+	}
+	s.view.Store(v)
+}
+
+// mergeFor builds or cache-loads the Catalog-Merge for one ordered pair.
+func (s *Store) mergeFor(outer, inner *Snapshot) (*core.CatalogMerge, error) {
+	cacheable := s.cache != nil && outer.Fingerprint != "" && inner.Fingerprint != ""
+	if cacheable {
+		if m, err := s.cache.loadMerge(outer.Fingerprint, inner.Fingerprint); err == nil {
+			s.cacheHits.Add(1)
+			return m, nil
+		}
+	}
+	m, err := core.BuildCatalogMerge(outer.Count, inner.Count, s.opt.SampleSize, s.opt.MaxK)
+	if err != nil {
+		return nil, err
+	}
+	s.catalogBuilds.Add(1)
+	if cacheable {
+		if err := s.cache.storeMerge(outer.Fingerprint, inner.Fingerprint, m); err != nil {
+			s.opt.logger().Printf("store: caching merge: %v (continuing uncached)", err)
+		}
+	}
+	return m, nil
+}
+
+// statusLocked snapshots the externally visible state of e.
+func (e *entry) statusLocked() RelationStatus {
+	st := RelationStatus{
+		Name:  e.name,
+		State: e.state.String(),
+		Error: e.err,
+	}
+	if e.snap != nil {
+		st.Version = e.snap.Version
+		st.NumPoints = e.snap.Tree.NumPoints()
+		st.NumBlocks = e.snap.Tree.NumBlocks()
+		st.StaircaseBytes = e.snap.StaircaseBytes
+		st.VirtualGridBytes = e.snap.VGridBytes
+	}
+	return st
+}
+
+// boundsOf returns the bounding rectangle of pts, slightly inflated so
+// every point is strictly inside (a quadtree needs open upper edges).
+func boundsOf(pts []geom.Point) geom.Rect {
+	r := geom.NewRect(pts[0].X, pts[0].Y, pts[0].X, pts[0].Y)
+	for _, p := range pts[1:] {
+		if p.X < r.Min.X {
+			r.Min.X = p.X
+		}
+		if p.Y < r.Min.Y {
+			r.Min.Y = p.Y
+		}
+		if p.X > r.Max.X {
+			r.Max.X = p.X
+		}
+		if p.Y > r.Max.Y {
+			r.Max.Y = p.Y
+		}
+	}
+	w, h := r.Width(), r.Height()
+	if w == 0 {
+		w = 1
+	}
+	if h == 0 {
+		h = 1
+	}
+	r.Min.X -= w * 0.001
+	r.Min.Y -= h * 0.001
+	r.Max.X += w * 0.001
+	r.Max.Y += h * 0.001
+	return r
+}
+
+func finite(f float64) bool {
+	return !math.IsNaN(f) && !math.IsInf(f, 0)
+}

@@ -8,5 +8,5 @@ cd "$(dirname "$0")/.."
 
 go vet ./...
 go test ./...
-go test -race ./internal/core/... ./internal/service/... ./internal/faultinject/... ./cmd/knncostd/...
+go test -race ./internal/core/... ./internal/store/... ./internal/service/... ./internal/faultinject/... ./cmd/knncostd/...
 go test -run xxx -bench 'BenchmarkEstimateSelectHot|BenchmarkStaircaseBuildAlloc|BenchmarkFig13SelectPreprocessCC' -benchtime 1x .

@@ -4,6 +4,11 @@
 # and exits 0 within the drain timeout. Exercises the full production
 # middleware stack (readiness gate, load shedding, deadlines, graceful
 # drain) against a real process, which the in-process tests cannot.
+#
+# A second phase smokes the warm-restart path: start with -cache-dir,
+# register a relation at runtime, stop, restart over the same cache, and
+# assert the daemon reaches ready with zero catalog builds (via the
+# knncost_catalog_builds expvar) while serving the same estimate.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -13,7 +18,8 @@ TMPDIR="${TMPDIR:-/tmp}"
 BIN="$TMPDIR/knncostd-soak-$$"
 LOG="$TMPDIR/knncostd-soak-$$.log"
 OUT="$TMPDIR/knncostd-soak-$$.out"
-trap 'rm -f "$BIN" "$LOG" "$OUT"' EXIT
+CACHE="$TMPDIR/knncostd-soak-$$.cache"
+trap 'rm -rf "$BIN" "$LOG" "$OUT" "$CACHE"' EXIT
 
 go build -o "$BIN" ./cmd/knncostd
 
@@ -68,3 +74,74 @@ if [ "$TOOK" -gt $((DRAIN + 5)) ]; then
 fi
 grep -q "drained cleanly" "$LOG" || { echo "soak: no clean-drain log line"; cat "$LOG"; exit 1; }
 echo "soak: OK (drained in ${TOOK}s)"
+
+# --- warm-restart smoke ------------------------------------------------------
+
+# start_cached boots the daemon over the shared cache directory and sets
+# PID/BASE. The relation schema is deterministic, so a second boot finds
+# every catalog in the cache.
+start_cached() {
+  : >"$OUT"
+  "$BIN" -addr 127.0.0.1:0 \
+    -relations hotels:3000,restaurants:5000 \
+    -capacity 128 -maxk 100 -sample 50 -grid 6 \
+    -cache-dir "$CACHE" \
+    -drain-timeout "${DRAIN}s" -access-log=false \
+    >"$OUT" 2>"$LOG" &
+  PID=$!
+  for i in $(seq 1 100); do
+    ADDR=$(sed -n 's/^knncostd listening on //p' "$OUT" | head -n1)
+    [ -n "$ADDR" ] && break
+    sleep 0.1
+  done
+  [ -n "${ADDR:-}" ] || { echo "soak: cached daemon never printed its address"; kill "$PID" 2>/dev/null; exit 1; }
+  BASE="http://$ADDR"
+  for i in $(seq 1 300); do
+    if curl -fsS "$BASE/readyz" >/dev/null 2>&1; then return 0; fi
+    sleep 0.1
+  done
+  echo "soak: cached daemon never became ready"; kill "$PID"; exit 1
+}
+
+# wait_relation polls until the named relation reports state "ready".
+wait_relation() {
+  for i in $(seq 1 300); do
+    if curl -fsS "$BASE/relations/$1/status" 2>/dev/null | grep -q '"state":"ready"'; then return 0; fi
+    sleep 0.1
+  done
+  echo "soak: relation $1 never became ready"; kill "$PID"; exit 1
+}
+
+# expvar_builds extracts the knncost_catalog_builds counter.
+expvar_builds() {
+  curl -fsS "$BASE/debug/vars" | sed -n 's/.*"knncost_catalog_builds": *\([0-9][0-9]*\).*/\1/p'
+}
+
+PROBE="/estimate/select?rel=restaurants&x=10&y=45&k=20"
+
+start_cached
+echo "soak: cold cached daemon pid=$PID addr=$ADDR"
+curl -fsS -X POST -H 'Content-Type: application/json' \
+  -d '{"name":"runtime","points":[[1,1],[2,5],[3,2],[4,8],[5,3],[6,9],[7,4],[8,7],[9,6],[10,1]]}' \
+  "$BASE/relations" >/dev/null || { echo "soak: runtime registration failed"; kill "$PID"; exit 1; }
+wait_relation runtime
+COLD_BUILDS=$(expvar_builds)
+COLD_EST=$(curl -fsS "$BASE$PROBE" | sed -n 's/.*"blocks":\([0-9.e+-]*\).*/\1/p')
+[ -n "$COLD_EST" ] || { echo "soak: cold estimate malformed"; kill "$PID"; exit 1; }
+[ "$COLD_BUILDS" -gt 0 ] || { echo "soak: cold run built no catalogs"; kill "$PID"; exit 1; }
+kill -TERM "$PID"; wait "$PID" || { echo "soak: cold cached daemon exited dirty"; exit 1; }
+
+start_cached
+echo "soak: warm daemon pid=$PID addr=$ADDR"
+wait_relation runtime
+WARM_BUILDS=$(expvar_builds)
+WARM_EST=$(curl -fsS "$BASE$PROBE" | sed -n 's/.*"blocks":\([0-9.e+-]*\).*/\1/p')
+kill -TERM "$PID"; wait "$PID" || { echo "soak: warm daemon exited dirty"; exit 1; }
+
+if [ "$WARM_BUILDS" != "0" ]; then
+  echo "soak: warm restart built $WARM_BUILDS catalogs, want 0"; exit 1
+fi
+if [ "$WARM_EST" != "$COLD_EST" ]; then
+  echo "soak: warm estimate $WARM_EST != cold $COLD_EST"; exit 1
+fi
+echo "soak: warm restart OK (builds=0, estimate identical: $WARM_EST)"
