@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check vet race bench-smoke bench perf soak
+.PHONY: all build test check vet race bench-smoke bench perf soak accuracy fuzz-smoke
 
 all: check
 
@@ -16,9 +16,10 @@ vet:
 # Race-test the packages with concurrent hot paths: the staircase build
 # fan-out, the batch estimation workers, the relation store's build pool and
 # hot-swap publication, the HTTP batch endpoint, the robustness middleware,
-# the fault-injection harness, and the daemon's signal-driven drain.
+# the fault-injection harness, the daemon's signal-driven drain, and the
+# oracle differential suite (which runs batches against live hot-swaps).
 race:
-	$(GO) test -race ./internal/core/... ./internal/store/... ./internal/service/... ./internal/faultinject/... ./cmd/knncostd/...
+	$(GO) test -race ./internal/core/... ./internal/store/... ./internal/service/... ./internal/faultinject/... ./internal/oracle/... ./cmd/knncostd/...
 
 # One iteration of every benchmark: catches benchmarks that panic or
 # regress to building their fixture per op, without the full measurement
@@ -29,8 +30,25 @@ bench-smoke:
 # The gate run by scripts/check.sh and documented in README.md.
 check: vet
 	$(GO) test ./...
-	$(GO) test -race ./internal/core/... ./internal/store/... ./internal/service/... ./internal/faultinject/... ./cmd/knncostd/...
+	$(GO) test -race ./internal/core/... ./internal/store/... ./internal/service/... ./internal/faultinject/... ./internal/oracle/... ./cmd/knncostd/...
 	$(GO) test -run xxx -bench 'BenchmarkEstimateSelectHot|BenchmarkStaircaseBuildAlloc|BenchmarkFig13SelectPreprocessCC' -benchtime 1x .
+	$(MAKE) accuracy
+	$(MAKE) fuzz-smoke
+
+# Estimator-accuracy regression gate: audit every estimation technique
+# against the brute-force oracle, print the per-technique pass/fail table,
+# and fail if an exact-equality invariant breaks or a q-error quantile
+# degrades beyond 10% of results/ACCURACY_BASELINE.json. Refresh the golden
+# file with:
+#   go run ./cmd/knnbench -accuracy -baseline results/ACCURACY_BASELINE.json -update-baseline
+accuracy:
+	$(GO) run ./cmd/knnbench -accuracy -baseline results/ACCURACY_BASELINE.json
+
+# Short fuzz smoke of the differential fuzz targets (the seed corpus also
+# runs on every plain `go test`).
+fuzz-smoke:
+	$(GO) test -run xxx -fuzz FuzzEstimateSelect -fuzztime 2s ./internal/oracle/
+	$(GO) test -run xxx -fuzz FuzzJoinCost -fuzztime 2s ./internal/oracle/
 
 # Boot a real knncostd, burst the batch endpoint, SIGTERM it, and assert a
 # clean drain and exit 0 — the end-to-end smoke of the robustness layer.

@@ -9,6 +9,11 @@
 //	knnbench -fig fig11 -points 100000 -scales 10 -capacity 512 -maxk 2000
 //	knnbench -perf -out results/          # hot-path microbenchmarks to
 //	                                      # results/BENCH_<date>.json
+//	knnbench -accuracy -out results/ -baseline results/ACCURACY_BASELINE.json
+//	                                      # estimator-accuracy audit +
+//	                                      # regression gate (exit 1 on fail)
+//	knnbench -accuracy -baseline results/ACCURACY_BASELINE.json -update-baseline
+//	                                      # refresh the golden baseline
 //
 // Each figure prints an aligned table (and, with -out, a CSV per table;
 // fig10 writes an SVG). See DESIGN.md §4 for the experiment index and
@@ -38,8 +43,20 @@ func main() {
 		sample   = flag.Int("sample", 0, "fixed sample size for join catalogs (0 = default)")
 		gridSize = flag.Int("grid", 0, "fixed virtual-grid dimension (0 = default)")
 		perf     = flag.Bool("perf", false, "run hot-path microbenchmarks and write BENCH_<date>.json (op, ns/op, allocs/op, bytes/op)")
+		accuracy = flag.Bool("accuracy", false, "audit estimator accuracy against the brute-force oracle and write ACCURACY_<date>.json")
+		baseline = flag.String("baseline", "", "golden AccuracyReport to gate against (with -accuracy)")
+		tol      = flag.Float64("tol", 1.10, "multiplicative q-error tolerance vs the baseline (with -accuracy)")
+		update   = flag.Bool("update-baseline", false, "rewrite -baseline with this run's report instead of gating")
 	)
 	flag.Parse()
+
+	if *accuracy {
+		if err := runAccuracyGate(*seed, *outDir, *baseline, *tol, *update); err != nil {
+			fmt.Fprintln(os.Stderr, "knnbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *perf {
 		results, err := harness.RunPerf(*seed)
@@ -96,4 +113,56 @@ func main() {
 		fmt.Fprintln(os.Stderr, "knnbench:", err)
 		os.Exit(1)
 	}
+}
+
+// runAccuracyGate runs the estimator-accuracy audit and, when a baseline is
+// given, gates the report against it: any broken exact-equality invariant
+// or any q-error quantile beyond baseline*tol fails the run. With
+// -update-baseline the report replaces the golden file instead.
+func runAccuracyGate(seed int64, outDir, baselinePath string, tol float64, update bool) error {
+	rep, err := harness.RunAccuracy(harness.AccuracyConfig{Seed: seed})
+	if err != nil {
+		return err
+	}
+	if outDir != "" {
+		path, err := harness.WriteAccuracyJSON(outDir, rep)
+		if err != nil {
+			return err
+		}
+		fmt.Println("wrote", path)
+	}
+	if baselinePath == "" {
+		fmt.Print(harness.FormatAccuracyTable(rep, rep, tol))
+		if len(rep.Violations) > 0 {
+			return fmt.Errorf("accuracy audit: %d invariant violations (first: %s)",
+				len(rep.Violations), rep.Violations[0])
+		}
+		return nil
+	}
+	if update {
+		if err := harness.WriteAccuracyBaseline(baselinePath, rep); err != nil {
+			return err
+		}
+		fmt.Println("updated baseline", baselinePath)
+		fmt.Print(harness.FormatAccuracyTable(rep, rep, tol))
+		if len(rep.Violations) > 0 {
+			return fmt.Errorf("accuracy audit: %d invariant violations (first: %s)",
+				len(rep.Violations), rep.Violations[0])
+		}
+		return nil
+	}
+	base, err := harness.LoadAccuracyBaseline(baselinePath)
+	if err != nil {
+		return fmt.Errorf("accuracy gate needs a baseline (run with -update-baseline to create one): %w", err)
+	}
+	fmt.Print(harness.FormatAccuracyTable(rep, base, tol))
+	failures := harness.CompareAccuracy(rep, base, tol)
+	for _, f := range failures {
+		fmt.Fprintln(os.Stderr, "FAIL:", f)
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("accuracy gate: %d failures vs %s", len(failures), baselinePath)
+	}
+	fmt.Println("accuracy gate: PASS")
+	return nil
 }

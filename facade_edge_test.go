@@ -1,0 +1,160 @@
+package knncost_test
+
+import (
+	"math"
+	"testing"
+
+	"knncost"
+)
+
+// TestFacadeEdgeCases drives the public API through the degenerate corners:
+// k = 0, k >= N, an empty relation, an all-duplicates relation, and queries
+// outside the index MBR. Estimators must either return a finite
+// non-negative value or an explicit error — never panic, NaN or Inf.
+func TestFacadeEdgeCases(t *testing.T) {
+	bounds := knncost.NewRect(0, 0, 10, 10)
+	tiny := knncost.BuildQuadtreeIndex([]knncost.Point{
+		{X: 1, Y: 1}, {X: 2, Y: 1}, {X: 3, Y: 4},
+		{X: 8, Y: 2}, {X: 9, Y: 9}, {X: 5, Y: 5},
+	}, knncost.IndexOptions{Capacity: 4, Bounds: bounds})
+	dupPts := make([]knncost.Point, 40)
+	for i := range dupPts {
+		dupPts[i] = knncost.Point{X: 4, Y: 4}
+	}
+	dups := knncost.BuildQuadtreeIndex(dupPts, knncost.IndexOptions{Capacity: 4, Bounds: bounds})
+	empty := knncost.BuildQuadtreeIndex(nil, knncost.IndexOptions{Capacity: 4, Bounds: bounds})
+
+	t.Run("select", func(t *testing.T) {
+		for _, ix := range []*knncost.Index{tiny, dups, empty} {
+			if got := ix.SelectKNN(knncost.Point{X: 1, Y: 1}, 0); len(got) != 0 {
+				t.Fatalf("SelectKNN(k=0) returned %d neighbors", len(got))
+			}
+			if got := ix.SelectKNNCost(knncost.Point{X: 1, Y: 1}, 0); got != 0 {
+				t.Fatalf("SelectKNNCost(k=0) = %d, want 0", got)
+			}
+			// k far beyond N returns every point and scans every block.
+			all := ix.SelectKNN(knncost.Point{X: 3, Y: 3}, 1000)
+			if len(all) != ix.NumPoints() {
+				t.Fatalf("SelectKNN(k=1000) returned %d of %d points", len(all), ix.NumPoints())
+			}
+			if cost := ix.SelectKNNCost(knncost.Point{X: 3, Y: 3}, 1000); cost != ix.NumBlocks() {
+				t.Fatalf("SelectKNNCost(k=1000) = %d, want NumBlocks %d", cost, ix.NumBlocks())
+			}
+		}
+		// All duplicates: every neighbor is at distance zero.
+		for _, n := range dups.SelectKNN(knncost.Point{X: 4, Y: 4}, 7) {
+			if n.Dist != 0 {
+				t.Fatalf("duplicate neighbor at distance %v", n.Dist)
+			}
+		}
+	})
+
+	t.Run("estimators", func(t *testing.T) {
+		stair, err := knncost.NewStaircaseEstimator(tiny, knncost.StaircaseOptions{MaxK: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		stairDup, err := knncost.NewStaircaseEstimator(dups, knncost.StaircaseOptions{MaxK: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ests := map[string]knncost.SelectEstimator{
+			"staircase":      stair,
+			"staircase_dups": stairDup,
+			"density":        knncost.NewDensityEstimator(tiny),
+			"density_dups":   knncost.NewDensityEstimator(dups),
+		}
+		queries := []knncost.Point{{X: 1, Y: 1}, {X: 4, Y: 4}, {X: 9999, Y: -9999}}
+		for name, est := range ests {
+			if _, err := est.EstimateSelect(queries[0], 0); err == nil {
+				t.Fatalf("%s accepted k=0", name)
+			}
+			for _, q := range queries {
+				for _, k := range []int{1, 8, 9, 1000} { // straddles MaxK and N
+					got, err := est.EstimateSelect(q, k)
+					if err != nil {
+						t.Fatalf("%s(%v, k=%d): %v", name, q, k, err)
+					}
+					if math.IsNaN(got) || math.IsInf(got, 0) || got < 0 {
+						t.Fatalf("%s(%v, k=%d) = %v, want finite non-negative", name, q, k, got)
+					}
+				}
+			}
+		}
+		// The density estimator stays well-defined over an index with no
+		// points: fewer than k points means "scan everything".
+		got, err := knncost.NewDensityEstimator(empty).EstimateSelect(knncost.Point{X: 5, Y: 5}, 3)
+		if err != nil || got != float64(empty.NumBlocks()) {
+			t.Fatalf("density over empty index = %v, %v; want %d", got, err, empty.NumBlocks())
+		}
+	})
+
+	t.Run("join", func(t *testing.T) {
+		if cost := knncost.JoinKNNCost(tiny, dups, 0); cost != 0 {
+			t.Fatalf("JoinKNNCost(k=0) = %d, want 0", cost)
+		}
+		pairs := 0
+		stats := knncost.JoinKNN(tiny, dups, 0, func(knncost.JoinPair) { pairs++ })
+		if pairs != 0 || stats.BlocksScanned != 0 {
+			t.Fatalf("JoinKNN(k=0) emitted %d pairs, scanned %d blocks", pairs, stats.BlocksScanned)
+		}
+		// k beyond the inner population: every locality is the whole inner
+		// index, and the estimators still answer finitely.
+		if cost := knncost.JoinKNNCost(tiny, dups, 1000); cost <= 0 {
+			t.Fatalf("JoinKNNCost(k=1000) = %d, want positive", cost)
+		}
+		cm, err := knncost.NewCatalogMergeEstimator(tiny, dups, 4, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vg, err := knncost.NewVirtualGridEstimator(dups, 4, 4, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		joins := map[string]knncost.JoinEstimator{
+			"blocksample":  knncost.NewBlockSampleEstimator(tiny, dups, 4),
+			"catalogmerge": cm,
+			"virtualgrid":  vg.Bind(tiny),
+		}
+		for name, est := range joins {
+			if _, err := est.EstimateJoin(0); err == nil {
+				t.Fatalf("%s accepted k=0", name)
+			}
+			for _, k := range []int{1, 8, 9, 1000} {
+				got, err := est.EstimateJoin(k)
+				if err != nil {
+					t.Fatalf("%s(k=%d): %v", name, k, err)
+				}
+				if math.IsNaN(got) || math.IsInf(got, 0) || got < 0 {
+					t.Fatalf("%s(k=%d) = %v, want finite non-negative", name, k, got)
+				}
+			}
+		}
+	})
+
+	t.Run("batch", func(t *testing.T) {
+		stair, err := knncost.NewStaircaseEstimator(tiny, knncost.StaircaseOptions{MaxK: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		queries := []knncost.SelectQuery{
+			{Point: knncost.Point{X: 1, Y: 1}, K: 0},    // error slot
+			{Point: knncost.Point{X: 1, Y: 1}, K: 3},
+			{Point: knncost.Point{X: 9999, Y: 0}, K: 5}, // outside MBR
+			{Point: knncost.Point{X: 2, Y: 2}, K: 1000}, // beyond N
+		}
+		results := knncost.EstimateSelectBatch(stair, queries, 2)
+		if results[0].Err == nil {
+			t.Fatal("batch k=0 slot did not fail")
+		}
+		for i, r := range results[1:] {
+			if r.Err != nil {
+				t.Fatalf("batch slot %d failed: %v", i+1, r.Err)
+			}
+			seq, err := stair.EstimateSelect(queries[i+1].Point, queries[i+1].K)
+			if err != nil || seq != r.Blocks {
+				t.Fatalf("batch slot %d = %v, sequential %v (%v)", i+1, r.Blocks, seq, err)
+			}
+		}
+	})
+}

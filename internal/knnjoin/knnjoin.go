@@ -25,11 +25,18 @@ import (
 // k, the highest MAXDIST M among the accumulated blocks is marked, and
 // scanning continues through every block whose MINDIST does not exceed M
 // (Figure 6 of the paper). When the inner index holds fewer than k points
-// the locality is every block.
+// the locality is every block. The locality of k < 1 is empty: no blocks
+// need scanning to find zero neighbors, consistent with Join, which
+// evaluates k <= 0 without touching the index. (Without this guard phase 2
+// would run with a zero MAXDIST and return every block touching the
+// origin.)
 //
 // The inner tree may be a data index or its Count-Index; only bounds and
 // counts are consulted.
 func Locality(inner *index.Tree, from geom.Origin, k int) []*index.Block {
+	if k < 1 {
+		return nil
+	}
 	var out []*index.Block
 	scan := inner.ScanMinDist(from)
 	// Phase 1: accumulate blocks until they jointly hold k points,

@@ -1,0 +1,227 @@
+package oracle
+
+import (
+	"fmt"
+	"math/rand"
+
+	"knncost/internal/geom"
+)
+
+// Workload is one deterministic dataset + query set of the differential
+// corpus. Everything is derived from the corpus seed, so two runs of any
+// differential check see byte-identical inputs.
+type Workload struct {
+	// Name identifies the distribution (uniform, clusters, zipf,
+	// collinear, duplicates).
+	Name string
+	// Points is the dataset.
+	Points []geom.Point
+	// Queries mixes data points, perturbed data points, uniform points,
+	// and points outside the data MBR.
+	Queries []geom.Point
+	// Ks is the ascending list of k values to sweep.
+	Ks []int
+}
+
+// corpusBounds is the region the corpus populates — the world bounds the
+// rest of the repository uses.
+var corpusBounds = geom.NewRect(-180, -90, 180, 90)
+
+// defaultKs is the ascending k sweep shared by every workload: small ks
+// where the staircase is finest, then roughly geometric growth.
+var defaultKs = []int{1, 2, 3, 5, 8, 13, 21, 34, 55, 89}
+
+// Corpus returns the five-workload differential corpus for the given
+// seed: n points and q queries per workload. The distributions cover the
+// estimators' easy and hard cases — uniform, Gaussian clusters, Zipf
+// skew, and the degenerate collinear and all-duplicate sets.
+func Corpus(seed int64, n, q int) []Workload {
+	gens := []struct {
+		name string
+		gen  func(*rand.Rand, int) []geom.Point
+	}{
+		{"uniform", uniformPoints},
+		{"clusters", clusterPoints},
+		{"zipf", zipfPoints},
+		{"collinear", collinearPoints},
+		{"duplicates", duplicatePoints},
+	}
+	out := make([]Workload, 0, len(gens))
+	for i, g := range gens {
+		rng := rand.New(rand.NewSource(seed*1_000_003 + int64(i)*7919))
+		pts := g.gen(rng, n)
+		out = append(out, Workload{
+			Name:    g.name,
+			Points:  pts,
+			Queries: corpusQueries(rng, pts, q),
+			Ks:      ksFor(n),
+		})
+	}
+	return out
+}
+
+// ksFor filters the default sweep to k <= n and appends n+7, so every
+// workload exercises the k > N exhaustion path.
+func ksFor(n int) []int {
+	ks := make([]int, 0, len(defaultKs)+1)
+	for _, k := range defaultKs {
+		if k <= n {
+			ks = append(ks, k)
+		}
+	}
+	return append(ks, n+7)
+}
+
+// corpusQueries builds the query mix: for i mod 4 it takes a data point,
+// a perturbed data point, a uniform point, or a point outside the data
+// MBR (walking a ring 25% beyond the bounds).
+func corpusQueries(rng *rand.Rand, pts []geom.Point, q int) []geom.Point {
+	b := geom.BoundsOf(pts)
+	w, h := b.Width(), b.Height()
+	if w == 0 {
+		w = 1
+	}
+	if h == 0 {
+		h = 1
+	}
+	out := make([]geom.Point, 0, q)
+	for i := 0; i < q; i++ {
+		switch i % 4 {
+		case 0:
+			out = append(out, pts[rng.Intn(len(pts))])
+		case 1:
+			p := pts[rng.Intn(len(pts))]
+			out = append(out, geom.Point{
+				X: p.X + (rng.Float64()-0.5)*w/50,
+				Y: p.Y + (rng.Float64()-0.5)*h/50,
+			})
+		case 2:
+			out = append(out, geom.Point{
+				X: b.Min.X + rng.Float64()*w,
+				Y: b.Min.Y + rng.Float64()*h,
+			})
+		default:
+			// A point on a ring 25% outside the MBR: outside-the-index
+			// queries must route to the fallback estimator.
+			side := rng.Intn(4)
+			along := rng.Float64()
+			switch side {
+			case 0:
+				out = append(out, geom.Point{X: b.Min.X - w/4, Y: b.Min.Y + along*h})
+			case 1:
+				out = append(out, geom.Point{X: b.Max.X + w/4, Y: b.Min.Y + along*h})
+			case 2:
+				out = append(out, geom.Point{X: b.Min.X + along*w, Y: b.Min.Y - h/4})
+			default:
+				out = append(out, geom.Point{X: b.Min.X + along*w, Y: b.Max.Y + h/4})
+			}
+		}
+	}
+	return out
+}
+
+func uniformPoints(rng *rand.Rand, n int) []geom.Point {
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = uniformIn(rng, corpusBounds)
+	}
+	return pts
+}
+
+func uniformIn(rng *rand.Rand, b geom.Rect) geom.Point {
+	return geom.Point{
+		X: b.Min.X + rng.Float64()*b.Width(),
+		Y: b.Min.Y + rng.Float64()*b.Height(),
+	}
+}
+
+// clusterPoints draws from 8 equally weighted Gaussian clusters whose
+// centers sit in the inner 80% of the bounds; samples outside the bounds
+// are clamped onto the boundary.
+func clusterPoints(rng *rand.Rand, n int) []geom.Point {
+	const clusters = 8
+	centers := make([]geom.Point, clusters)
+	inner := geom.NewRect(
+		corpusBounds.Min.X+corpusBounds.Width()/10,
+		corpusBounds.Min.Y+corpusBounds.Height()/10,
+		corpusBounds.Max.X-corpusBounds.Width()/10,
+		corpusBounds.Max.Y-corpusBounds.Height()/10,
+	)
+	for i := range centers {
+		centers[i] = uniformIn(rng, inner)
+	}
+	sigmaX := corpusBounds.Width() / 40
+	sigmaY := corpusBounds.Height() / 40
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		c := centers[rng.Intn(clusters)]
+		pts[i] = clampPoint(geom.Point{
+			X: c.X + rng.NormFloat64()*sigmaX,
+			Y: c.Y + rng.NormFloat64()*sigmaY,
+		}, corpusBounds)
+	}
+	return pts
+}
+
+// zipfPoints places points around 64 anchor sites whose popularity is
+// Zipf-distributed — a few sites absorb most of the mass, the skew the
+// paper's OSM-like datasets exhibit.
+func zipfPoints(rng *rand.Rand, n int) []geom.Point {
+	const sites = 64
+	anchors := make([]geom.Point, sites)
+	for i := range anchors {
+		anchors[i] = uniformIn(rng, corpusBounds)
+	}
+	z := rand.NewZipf(rng, 1.3, 1, sites-1)
+	sigmaX := corpusBounds.Width() / 80
+	sigmaY := corpusBounds.Height() / 80
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		a := anchors[z.Uint64()]
+		pts[i] = clampPoint(geom.Point{
+			X: a.X + rng.NormFloat64()*sigmaX,
+			Y: a.Y + rng.NormFloat64()*sigmaY,
+		}, corpusBounds)
+	}
+	return pts
+}
+
+// collinearPoints puts every point on one line (exactly collinear, so
+// quadtree splits separate them along a single direction only), with every
+// tenth point duplicating the previous one.
+func collinearPoints(rng *rand.Rand, n int) []geom.Point {
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		if i%10 == 9 && i > 0 {
+			pts[i] = pts[i-1]
+			continue
+		}
+		x := corpusBounds.Min.X + rng.Float64()*corpusBounds.Width()
+		pts[i] = geom.Point{X: x, Y: 0.37*x + 5}
+	}
+	return pts
+}
+
+// duplicatePoints uses only 5 distinct non-dyadic locations, each repeated
+// n/5 times — the worst case for any splitter, bounded only by the
+// quadtree's maximum depth.
+func duplicatePoints(rng *rand.Rand, n int) []geom.Point {
+	sites := make([]geom.Point, 5)
+	for i := range sites {
+		sites[i] = uniformIn(rng, corpusBounds)
+	}
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = sites[i%len(sites)]
+	}
+	return pts
+}
+
+func clampPoint(p geom.Point, b geom.Rect) geom.Point {
+	return geom.Point{X: clamp(p.X, b.Min.X, b.Max.X), Y: clamp(p.Y, b.Min.Y, b.Max.Y)}
+}
+
+// String implements fmt.Stringer for test names.
+func (w Workload) String() string {
+	return fmt.Sprintf("%s(n=%d,q=%d)", w.Name, len(w.Points), len(w.Queries))
+}

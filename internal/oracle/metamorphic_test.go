@@ -1,0 +1,264 @@
+// Metamorphic tests: properties that must hold between related queries or
+// related datasets, without knowing the true answer. Scale and translation
+// invariance are asserted exactly by choosing transformations that are
+// lossless in IEEE arithmetic (power-of-two scaling; lattice-aligned
+// translation), so any difference is a real behavioral divergence, not
+// float noise.
+package oracle_test
+
+import (
+	"math"
+	"testing"
+
+	"knncost/internal/core"
+	"knncost/internal/geom"
+	"knncost/internal/knn"
+	"knncost/internal/oracle"
+)
+
+// TestEstimatesMonotonicInK: more neighbors can never be estimated (or
+// measured) cheaper. The staircase estimate is a convex combination of two
+// per-block catalogs, both non-decreasing in k, with a k-independent
+// weight; the join catalogs accumulate localities. The density estimator
+// is deliberately absent: growing k lets its scan reach denser blocks,
+// which can shrink the refined radius, so its estimate is not monotone —
+// for it only the [1, NumBlocks] range is asserted. The staircase check
+// therefore also skips its fallback seams (queries outside the catalog's
+// coverage and k > maxK), which delegate to density.
+func TestEstimatesMonotonicInK(t *testing.T) {
+	ws := testCorpus(t)
+	for i, w := range ws {
+		w, innerW := w, ws[(i+1)%len(ws)]
+		t.Run(w.Name, func(t *testing.T) {
+			t.Parallel()
+			tree := buildTree(t, w.Points, 32)
+			count := tree.CountTree()
+			inner := buildTree(t, innerW.Points, 32).CountTree()
+			const maxK = 100
+			var selects []core.SelectEstimator
+			for _, m := range staircaseModes {
+				stair, err := core.BuildStaircase(tree, core.StaircaseOptions{MaxK: maxK, Mode: m.core})
+				if err != nil {
+					t.Fatal(err)
+				}
+				selects = append(selects, stair)
+			}
+			density := core.NewDensityBased(count)
+			for _, q := range w.Queries {
+				if oracle.FindBlock(tree, q) != nil {
+					for _, est := range selects {
+						prev := 0.0
+						for _, k := range w.Ks {
+							if k > maxK {
+								continue
+							}
+							got, err := est.EstimateSelect(q, k)
+							if err != nil {
+								t.Fatal(err)
+							}
+							if got < prev {
+								t.Fatalf("estimate(%v) decreased from %v to %v at k=%d", q, prev, got, k)
+							}
+							prev = got
+						}
+					}
+				}
+				for _, k := range w.Ks {
+					got, err := density.EstimateSelect(q, k)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if got < 1 || got > float64(count.NumBlocks()) {
+						t.Fatalf("density(%v, k=%d) = %v outside [1, %d]", q, k, got, count.NumBlocks())
+					}
+				}
+				prevCost := 0
+				for _, k := range w.Ks {
+					cost := knn.SelectCost(tree, q, k)
+					if cost < prevCost {
+						t.Fatalf("SelectCost(%v) decreased from %d to %d at k=%d", q, prevCost, cost, k)
+					}
+					prevCost = cost
+				}
+			}
+			cm, err := core.BuildCatalogMerge(count, inner, 7, maxK)
+			if err != nil {
+				t.Fatal(err)
+			}
+			vg, err := core.BuildVirtualGrid(inner, 5, 5, maxK)
+			if err != nil {
+				t.Fatal(err)
+			}
+			joins := []core.JoinEstimator{core.NewBlockSample(count, inner, 7), cm, vg.Bind(count)}
+			for _, est := range joins {
+				prev := 0.0
+				for _, k := range w.Ks {
+					got, err := est.EstimateJoin(k)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if got < prev {
+						t.Fatalf("join estimate decreased from %v to %v at k=%d", prev, got, k)
+					}
+					prev = got
+				}
+			}
+		})
+	}
+}
+
+// TestStaircaseModeRelations: for any catalog-served query, the
+// center+quadrant estimate never exceeds the center+corners estimate
+// (they share the center cost and interpolation weight, and the quadrant
+// corner's cost never exceeds the max-merged corners cost), the
+// center-only estimate equals the center anchor's true cost, and both
+// interpolating modes stay inside the convex hull of their anchor costs.
+// The first two are exact in IEEE arithmetic (both interpolating modes
+// share the center cost and the weight). The hull check allows a tiny
+// relative slack: the rounded midpoint fl((min+max)/2) of a deep, narrow
+// block (width ~1e-6 at coordinate ~1e2) is off by up to ~1e-14, which is
+// ~1e-8 of the block width, so the weight 2L/diag can exceed 1 by that
+// relative amount when the query sits in the block's far corner.
+func TestStaircaseModeRelations(t *testing.T) {
+	const maxK = 60
+	for _, w := range testCorpus(t) {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			t.Parallel()
+			tree := buildTree(t, w.Points, 32)
+			build := func(m core.StaircaseMode) *core.Staircase {
+				s, err := core.BuildStaircase(tree, core.StaircaseOptions{MaxK: maxK, Mode: m})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return s
+			}
+			cc := build(core.ModeCenterCorners)
+			co := build(core.ModeCenterOnly)
+			quad := build(core.ModeCenterQuadrant)
+			for _, q := range w.Queries {
+				blk := oracle.FindBlock(tree, q)
+				if blk == nil {
+					continue // fallback path: all modes share it
+				}
+				for _, k := range w.Ks {
+					if k > maxK {
+						continue
+					}
+					eCC, err1 := cc.EstimateSelect(q, k)
+					eCO, err2 := co.EstimateSelect(q, k)
+					eQ, err3 := quad.EstimateSelect(q, k)
+					if err1 != nil || err2 != nil || err3 != nil {
+						t.Fatal(err1, err2, err3)
+					}
+					if eQ > eCC {
+						t.Fatalf("quadrant > corners at %v k=%d: Quad=%v CC=%v", q, k, eQ, eCC)
+					}
+					cCenter := float64(oracle.SelectCost(tree, blk.Bounds.Center(), k))
+					if eCO != cCenter {
+						t.Fatalf("center-only(%v, k=%d) = %v, center anchor cost %v", q, k, eCO, cCenter)
+					}
+					cCorners := math.Inf(-1)
+					for _, c := range blk.Bounds.Corners() {
+						if cost := float64(oracle.SelectCost(tree, c, k)); cost > cCorners {
+							cCorners = cost
+						}
+					}
+					lo, hi := math.Min(cCenter, cCorners), math.Max(cCenter, cCorners)
+					slack := 1e-6*(hi-lo) + 1e-12
+					if eCC < lo-slack || eCC > hi+slack {
+						t.Fatalf("corners estimate %v outside anchor hull [%v, %v] at %v k=%d", eCC, lo, hi, q, k)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestScaleInvariance: scaling every coordinate by a power of two is
+// lossless in IEEE doubles and commutes with every computation in the
+// pipeline (splits, distances, interpolation weights), so costs and
+// estimates must be bit-identical.
+func TestScaleInvariance(t *testing.T) {
+	const scale = 4.0
+	w := testCorpus(t)[1]
+	pts := w.Points[:300]
+	scaled := make([]geom.Point, len(pts))
+	for i, p := range pts {
+		scaled[i] = geom.Point{X: p.X * scale, Y: p.Y * scale}
+	}
+	assertTransformInvariant(t, pts, scaled, w.Queries, func(q geom.Point) geom.Point {
+		return geom.Point{X: q.X * scale, Y: q.Y * scale}
+	})
+}
+
+// TestTranslationInvariance: with coordinates quantized to a dyadic
+// lattice, translating by a power of two keeps every sum, midpoint and
+// difference exact, so the transformed workload must produce bit-identical
+// costs and estimates.
+func TestTranslationInvariance(t *testing.T) {
+	const shift = 256.0
+	w := testCorpus(t)[0]
+	pts := make([]geom.Point, 300)
+	for i, p := range w.Points[:300] {
+		pts[i] = quantize(p)
+	}
+	moved := make([]geom.Point, len(pts))
+	for i, p := range pts {
+		moved[i] = geom.Point{X: p.X + shift, Y: p.Y + shift}
+	}
+	queries := make([]geom.Point, len(w.Queries))
+	for i, q := range w.Queries {
+		queries[i] = quantize(q)
+	}
+	assertTransformInvariant(t, pts, moved, queries, func(q geom.Point) geom.Point {
+		return geom.Point{X: q.X + shift, Y: q.Y + shift}
+	})
+}
+
+// quantize snaps a coordinate to the 2^-10 lattice, on which sums and
+// midpoints up to the quadtree's depth limit are exact.
+func quantize(p geom.Point) geom.Point {
+	return geom.Point{X: math.Round(p.X*1024) / 1024, Y: math.Round(p.Y*1024) / 1024}
+}
+
+// assertTransformInvariant builds the original and transformed datasets
+// and checks that ground-truth costs and every select estimate agree
+// exactly under the query transformation.
+func assertTransformInvariant(t *testing.T, pts, transformed []geom.Point, queries []geom.Point, tq func(geom.Point) geom.Point) {
+	t.Helper()
+	const maxK = 50
+	a := buildTree(t, pts, 16)
+	b := buildTree(t, transformed, 16)
+	if a.NumBlocks() != b.NumBlocks() {
+		t.Fatalf("transformed tree has %d blocks, original %d", b.NumBlocks(), a.NumBlocks())
+	}
+	stairA, err := core.BuildStaircase(a, core.StaircaseOptions{MaxK: maxK})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stairB, err := core.BuildStaircase(b, core.StaircaseOptions{MaxK: maxK})
+	if err != nil {
+		t.Fatal(err)
+	}
+	denA := core.NewDensityBased(a.CountTree())
+	denB := core.NewDensityBased(b.CountTree())
+	ks := []int{1, 3, 10, 31, maxK + 5}
+	for _, q := range queries {
+		for _, k := range ks {
+			if got, want := knn.SelectCost(b, tq(q), k), knn.SelectCost(a, q, k); got != want {
+				t.Fatalf("cost(%v, k=%d): transformed %d, original %d", q, k, got, want)
+			}
+			gotS, err1 := stairB.EstimateSelect(tq(q), k)
+			wantS, err2 := stairA.EstimateSelect(q, k)
+			if err1 != nil || err2 != nil || gotS != wantS {
+				t.Fatalf("staircase(%v, k=%d): transformed %v,%v; original %v,%v", q, k, gotS, err1, wantS, err2)
+			}
+			gotD, err1 := denB.EstimateSelect(tq(q), k)
+			wantD, err2 := denA.EstimateSelect(q, k)
+			if err1 != nil || err2 != nil || gotD != wantD {
+				t.Fatalf("density(%v, k=%d): transformed %v,%v; original %v,%v", q, k, gotD, err1, wantD, err2)
+			}
+		}
+	}
+}

@@ -1,0 +1,133 @@
+// Self-tests of the oracle against hand-computed answers on a fixture
+// small enough to verify on paper. An oracle that cross-checks the
+// optimized code is only as trustworthy as these.
+package oracle_test
+
+import (
+	"math"
+	"testing"
+
+	"knncost/internal/geom"
+	"knncost/internal/index"
+	"knncost/internal/oracle"
+)
+
+// fixtureTree is three leaf blocks on a shelf:
+//
+//	A [0,1]x[0,1]  points (0.1,0.1), (0.2,0.1)
+//	B [1,2]x[0,1]  point  (1.5,0.5)
+//	C [3,4]x[0,1]  point  (3.5,0.5)
+func fixtureTree() *index.Tree {
+	leaf := func(r geom.Rect, pts ...geom.Point) *index.Node {
+		return &index.Node{Bounds: r, Block: &index.Block{Bounds: r, Points: pts, Count: len(pts)}}
+	}
+	root := &index.Node{
+		Bounds: geom.NewRect(0, 0, 4, 1),
+		Children: []*index.Node{
+			leaf(geom.NewRect(0, 0, 1, 1), geom.Point{X: 0.1, Y: 0.1}, geom.Point{X: 0.2, Y: 0.1}),
+			leaf(geom.NewRect(1, 0, 2, 1), geom.Point{X: 1.5, Y: 0.5}),
+			leaf(geom.NewRect(3, 0, 4, 1), geom.Point{X: 3.5, Y: 0.5}),
+		},
+	}
+	return index.New(root, true)
+}
+
+func TestOracleSelectCostByHand(t *testing.T) {
+	tree := fixtureTree()
+	q := geom.Point{X: 0.1, Y: 0.1}
+	// k=1,2: both nearest points live in A and are closer than B's MINDIST
+	// (0.9), so only A is scanned. k=3: the third neighbor is in B
+	// (dist ~1.46 < C's MINDIST 2.9), so A and B are scanned. k=4 and
+	// beyond: everything.
+	for k, want := range map[int]int{1: 1, 2: 1, 3: 2, 4: 3, 9: 3} {
+		if got := oracle.SelectCost(tree, q, k); got != want {
+			t.Errorf("SelectCost(k=%d) = %d, want %d", k, got, want)
+		}
+	}
+	if got := oracle.SelectCost(tree, q, 0); got != 0 {
+		t.Errorf("SelectCost(k=0) = %d, want 0", got)
+	}
+}
+
+func TestOracleLocalityByHand(t *testing.T) {
+	tree := fixtureTree()
+	from := geom.NewRect(0, 0, 1, 1) // A's bounds as join origin
+	// k=2: phase 1 consumes A alone (2 points), MAXDIST = sqrt(2).
+	// Phase 2 adds B (MINDIST 0, touching) and stops at C (MINDIST 2).
+	if got := oracle.LocalitySize(tree, from, 2); got != 2 {
+		t.Errorf("LocalitySize(k=2) = %d, want 2", got)
+	}
+	// k=3: phase 1 consumes A and B; MAXDIST to B = sqrt(4+1). C's
+	// MINDIST 2 <= sqrt(5), so the locality is all three blocks.
+	if got := oracle.LocalitySize(tree, from, 3); got != 3 {
+		t.Errorf("LocalitySize(k=3) = %d, want 3", got)
+	}
+	// k=5 exceeds the 4 points: every block.
+	if got := oracle.LocalitySize(tree, from, 5); got != 3 {
+		t.Errorf("LocalitySize(k=5) = %d, want 3", got)
+	}
+	if got := oracle.LocalitySize(tree, from, 0); got != 0 {
+		t.Errorf("LocalitySize(k=0) = %d, want 0", got)
+	}
+	// JoinCost at k=2: origin A has locality 2 (above). Origin B: A pops
+	// first (MINDIST 0, earlier insertion) and alone holds 2 points;
+	// MAXDIST to A = sqrt(4+1), so B and C (MINDISTs 0 and 1) both join:
+	// 3. Origin C: C then B cover 2 points; MAXDIST to B = sqrt(9+1), A's
+	// MINDIST 2 <= sqrt(10): 3. Total 8.
+	if got := oracle.JoinCost(tree, tree, 2); got != 8 {
+		t.Errorf("JoinCost(k=2) = %d, want 8", got)
+	}
+}
+
+func TestOracleExactResultsByHand(t *testing.T) {
+	tree := fixtureTree()
+	pts := oracle.Points(tree)
+	if len(pts) != 4 {
+		t.Fatalf("Points returned %d points, want 4", len(pts))
+	}
+	q := geom.Point{X: 0.1, Y: 0.1}
+	dists := oracle.SelectKNNDists(pts, q, 3)
+	want := []float64{0, 0.1, math.Sqrt(1.4*1.4 + 0.4*0.4)}
+	if len(dists) != len(want) {
+		t.Fatalf("SelectKNNDists returned %d values, want %d", len(dists), len(want))
+	}
+	for i := range want {
+		if math.Abs(dists[i]-want[i]) > 1e-12 {
+			t.Errorf("dists[%d] = %v, want %v", i, dists[i], want[i])
+		}
+	}
+	if got := oracle.RangeCount(pts, geom.NewRect(0, 0, 1.6, 1)); got != 3 {
+		t.Errorf("RangeCount = %d, want 3", got)
+	}
+	if got := oracle.RangeBlockCost(tree, geom.NewRect(0.5, 0, 2.5, 1)); got != 2 {
+		t.Errorf("RangeBlockCost = %d, want 2", got)
+	}
+	if blk := oracle.FindBlock(tree, geom.Point{X: 1, Y: 0.5}); blk == nil || blk.ID != 0 {
+		t.Errorf("FindBlock on shared boundary = %v, want block 0", blk)
+	}
+	if blk := oracle.FindBlock(tree, geom.Point{X: 2.5, Y: 0.5}); blk != nil {
+		t.Errorf("FindBlock in the gap = block %d, want nil", blk.ID)
+	}
+	if blk := oracle.FindBlock(tree, geom.Point{X: 9, Y: 9}); blk != nil {
+		t.Errorf("FindBlock outside bounds = block %d, want nil", blk.ID)
+	}
+}
+
+func TestOracleDensityByHand(t *testing.T) {
+	tree := fixtureTree()
+	// k=1 at A's center: A alone has density 2, radius sqrt(1/(2*pi))
+	// ~0.4; the next block (B, MINDIST 0.4... no: from (0.5,0.5) B's
+	// MINDIST is 0.5 > radius) -- so one block.
+	got, err := oracle.DensityEstimate(tree, geom.Point{X: 0.5, Y: 0.5}, 1)
+	if err != nil || got != 1 {
+		t.Errorf("DensityEstimate(center A, k=1) = %v, %v; want 1", got, err)
+	}
+	// k larger than the population: every block.
+	got, err = oracle.DensityEstimate(tree, geom.Point{X: 0.5, Y: 0.5}, 99)
+	if err != nil || got != 3 {
+		t.Errorf("DensityEstimate(k=99) = %v, %v; want 3", got, err)
+	}
+	if _, err := oracle.DensityEstimate(tree, geom.Point{}, 0); err == nil {
+		t.Error("DensityEstimate(k=0) did not fail")
+	}
+}

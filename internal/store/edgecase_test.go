@@ -1,0 +1,113 @@
+// Edge-case tests of the store's registration and serving paths: relations
+// that index to nothing, all-duplicate point sets, and degenerate k values
+// against published snapshots.
+package store
+
+import (
+	"context"
+	"math"
+	"testing"
+	"time"
+
+	"knncost/internal/geom"
+)
+
+// TestRegisterEmptyRelationFails: a relation whose points index to zero
+// blocks must end up failed — visible in Status and the listing — without
+// ever publishing a snapshot or poisoning other relations.
+func TestRegisterEmptyRelationFails(t *testing.T) {
+	s := newTestStore(t, testOptions(t))
+	if _, err := s.Register("empty", nil); err != nil {
+		// An eager rejection is fine too; either way nothing publishes.
+		if s.View().Relation("empty") != nil {
+			t.Fatal("rejected registration still published")
+		}
+		return
+	}
+	// WaitReady surfaces the failed build as an error; it must not hang.
+	{
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		err := s.WaitReady(ctx, "empty")
+		cancel()
+		if err == nil {
+			t.Fatal("WaitReady succeeded for a relation that cannot build")
+		}
+	}
+	st, ok := s.Status("empty")
+	if !ok {
+		t.Fatal("empty relation unknown after Register")
+	}
+	if st.State != StateFailed.String() {
+		t.Fatalf("empty relation state %q, want %q", st.State, StateFailed)
+	}
+	if st.Error == "" {
+		t.Fatal("failed relation carries no error")
+	}
+	if s.View().Relation("empty") != nil {
+		t.Fatal("failed relation has a published snapshot")
+	}
+	// The failure is isolated: a healthy registration still publishes.
+	if _, err := s.Register("ok", gridPoints(100, 9)); err != nil {
+		t.Fatalf("Register ok: %v", err)
+	}
+	waitReady(t, s, "ok")
+	if s.View().Relation("ok") == nil {
+		t.Fatal("healthy relation did not publish alongside the failed one")
+	}
+}
+
+// TestAllDuplicatesRelation: 200 copies of one point must build, publish
+// and answer every estimator finitely, including k far beyond N and
+// queries outside the MBR; k < 1 stays an error.
+func TestAllDuplicatesRelation(t *testing.T) {
+	s := newTestStore(t, testOptions(t))
+	pts := make([]geom.Point, 200)
+	for i := range pts {
+		pts[i] = geom.Point{X: 42.5, Y: 17.25}
+	}
+	if _, err := s.Register("dups", pts); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	if _, err := s.Register("other", gridPoints(300, 4)); err != nil {
+		t.Fatalf("Register other: %v", err)
+	}
+	waitReady(t, s)
+	v := s.View()
+	snap := v.Relation("dups")
+	if snap == nil || snap.Tree.NumPoints() != 200 {
+		t.Fatalf("dups snapshot %+v", snap)
+	}
+	queries := []geom.Point{{X: 42.5, Y: 17.25}, {X: -500, Y: 900}}
+	for _, q := range queries {
+		if _, err := snap.Staircase.EstimateSelect(q, 0); err == nil {
+			t.Fatal("staircase accepted k=0")
+		}
+		if _, err := snap.Density.EstimateSelect(q, -1); err == nil {
+			t.Fatal("density accepted k=-1")
+		}
+		for _, k := range []int{1, 64, 65, 1000} { // straddles MaxK and N
+			for name, est := range map[string]interface {
+				EstimateSelect(geom.Point, int) (float64, error)
+			}{"staircase": snap.Staircase, "density": snap.Density} {
+				got, err := est.EstimateSelect(q, k)
+				if err != nil {
+					t.Fatalf("%s(%v, k=%d): %v", name, q, k, err)
+				}
+				if math.IsNaN(got) || math.IsInf(got, 0) || got < 0 {
+					t.Fatalf("%s(%v, k=%d) = %v, want finite non-negative", name, q, k, got)
+				}
+			}
+		}
+	}
+	for _, pair := range [][2]string{{"dups", "other"}, {"other", "dups"}} {
+		for _, k := range []int{1, 64, 1000} {
+			got, err := v.Merge(pair[0], pair[1]).EstimateJoin(k)
+			if err != nil {
+				t.Fatalf("merge %v (k=%d): %v", pair, k, err)
+			}
+			if math.IsNaN(got) || math.IsInf(got, 0) || got < 0 {
+				t.Fatalf("merge %v (k=%d) = %v, want finite non-negative", pair, k, got)
+			}
+		}
+	}
+}

@@ -1,12 +1,22 @@
 #!/bin/sh
 # Repository gate: vet, full tests, race tests on the concurrent packages,
-# and a 1-iteration benchmark smoke. Equivalent to `make check`; kept as a
-# script for environments without make.
+# a 1-iteration benchmark smoke, the estimator-accuracy regression gate,
+# and a short fuzz smoke of the oracle differential targets. Equivalent to
+# `make check`; kept as a script for environments without make.
 set -eux
 
 cd "$(dirname "$0")/.."
 
 go vet ./...
 go test ./...
-go test -race ./internal/core/... ./internal/store/... ./internal/service/... ./internal/faultinject/... ./cmd/knncostd/...
+go test -race ./internal/core/... ./internal/store/... ./internal/service/... ./internal/faultinject/... ./internal/oracle/... ./cmd/knncostd/...
 go test -run xxx -bench 'BenchmarkEstimateSelectHot|BenchmarkStaircaseBuildAlloc|BenchmarkFig13SelectPreprocessCC' -benchtime 1x .
+
+# Estimator-accuracy gate: exact invariants must hold and q-error quantiles
+# must stay within 10% of the checked-in golden baseline.
+go run ./cmd/knnbench -accuracy -baseline results/ACCURACY_BASELINE.json
+
+# Fuzz smoke: the seed corpus runs on plain `go test`; this additionally
+# explores new inputs for a couple of seconds per target.
+go test -run xxx -fuzz FuzzEstimateSelect -fuzztime 2s ./internal/oracle/
+go test -run xxx -fuzz FuzzJoinCost -fuzztime 2s ./internal/oracle/
