@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check vet race bench-smoke bench perf soak accuracy fuzz-smoke
+.PHONY: all build test check vet lint cover race bench-smoke bench perf soak accuracy fuzz-smoke
 
 all: check
 
@@ -13,13 +13,23 @@ test:
 vet:
 	$(GO) vet ./...
 
+# staticcheck + govulncheck at pinned versions (see scripts/lint.sh);
+# degrades to a warning when the tools cannot be installed offline.
+lint:
+	sh scripts/lint.sh
+
+# Per-package coverage; fails when internal/engine drops below 85%.
+cover:
+	sh scripts/cover.sh
+
 # Race-test the packages with concurrent hot paths: the staircase build
-# fan-out, the batch estimation workers, the relation store's build pool and
-# hot-swap publication, the HTTP batch endpoint, the robustness middleware,
-# the fault-injection harness, the daemon's signal-driven drain, and the
-# oracle differential suite (which runs batches against live hot-swaps).
+# fan-out, the batch estimation workers, the engine's once-per-artifact
+# builds, the relation store's build pool and hot-swap publication, the HTTP
+# batch endpoint, the robustness middleware, the fault-injection harness,
+# the daemon's signal-driven drain, and the oracle differential suite
+# (which runs batches against live hot-swaps).
 race:
-	$(GO) test -race ./internal/core/... ./internal/store/... ./internal/service/... ./internal/faultinject/... ./internal/oracle/... ./cmd/knncostd/...
+	$(GO) test -race ./internal/core/... ./internal/engine/... ./internal/store/... ./internal/service/... ./internal/faultinject/... ./internal/oracle/... ./cmd/knncostd/...
 
 # One iteration of every benchmark: catches benchmarks that panic or
 # regress to building their fixture per op, without the full measurement
@@ -29,9 +39,11 @@ bench-smoke:
 
 # The gate run by scripts/check.sh and documented in README.md.
 check: vet
+	$(MAKE) lint
 	$(GO) test ./...
-	$(GO) test -race ./internal/core/... ./internal/store/... ./internal/service/... ./internal/faultinject/... ./internal/oracle/... ./cmd/knncostd/...
+	$(GO) test -race ./internal/core/... ./internal/engine/... ./internal/store/... ./internal/service/... ./internal/faultinject/... ./internal/oracle/... ./cmd/knncostd/...
 	$(GO) test -run xxx -bench 'BenchmarkEstimateSelectHot|BenchmarkStaircaseBuildAlloc|BenchmarkFig13SelectPreprocessCC' -benchtime 1x .
+	$(MAKE) cover
 	$(MAKE) accuracy
 	$(MAKE) fuzz-smoke
 

@@ -14,6 +14,10 @@
 //	                                      # regression gate (exit 1 on fail)
 //	knnbench -accuracy -baseline results/ACCURACY_BASELINE.json -update-baseline
 //	                                      # refresh the golden baseline
+//	knnbench -accuracy -techniques staircase-cc,virtual-grid
+//	                                      # audit only the named techniques
+//	                                      # (registry names or aliases; not
+//	                                      # combinable with -baseline)
 //
 // Each figure prints an aligned table (and, with -out, a CSV per table;
 // fig10 writes an SVG). See DESIGN.md §4 for the experiment index and
@@ -47,11 +51,12 @@ func main() {
 		baseline = flag.String("baseline", "", "golden AccuracyReport to gate against (with -accuracy)")
 		tol      = flag.Float64("tol", 1.10, "multiplicative q-error tolerance vs the baseline (with -accuracy)")
 		update   = flag.Bool("update-baseline", false, "rewrite -baseline with this run's report instead of gating")
+		techs    = flag.String("techniques", "", "comma-separated technique names or aliases restricting -accuracy (default all; incompatible with -baseline)")
 	)
 	flag.Parse()
 
 	if *accuracy {
-		if err := runAccuracyGate(*seed, *outDir, *baseline, *tol, *update); err != nil {
+		if err := runAccuracyGate(*seed, *outDir, *baseline, *tol, *update, splitTechniques(*techs)); err != nil {
 			fmt.Fprintln(os.Stderr, "knnbench:", err)
 			os.Exit(1)
 		}
@@ -115,12 +120,27 @@ func main() {
 	}
 }
 
+// splitTechniques parses the -techniques flag value into trimmed, non-empty
+// names; validation happens in the harness via the engine registry.
+func splitTechniques(s string) []string {
+	var out []string
+	for _, n := range strings.Split(s, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
 // runAccuracyGate runs the estimator-accuracy audit and, when a baseline is
 // given, gates the report against it: any broken exact-equality invariant
 // or any q-error quantile beyond baseline*tol fails the run. With
 // -update-baseline the report replaces the golden file instead.
-func runAccuracyGate(seed int64, outDir, baselinePath string, tol float64, update bool) error {
-	rep, err := harness.RunAccuracy(harness.AccuracyConfig{Seed: seed})
+func runAccuracyGate(seed int64, outDir, baselinePath string, tol float64, update bool, techniques []string) error {
+	if len(techniques) > 0 && baselinePath != "" {
+		return fmt.Errorf("-techniques cannot be combined with -baseline: the gate requires every baseline technique in the report")
+	}
+	rep, err := harness.RunAccuracy(harness.AccuracyConfig{Seed: seed, Techniques: techniques})
 	if err != nil {
 		return err
 	}

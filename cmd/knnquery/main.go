@@ -5,12 +5,20 @@
 // Usage:
 //
 //	knnquery -op select -x 12.5 -y 41.9 -k 25
-//	knnquery -op join -k 5 -outer 50000 -n 200000
+//	knnquery -op select -x 12.5 -y 41.9 -k 25 -technique staircase-c
+//	knnquery -op join -k 5 -outer 50000 -n 200000 -technique virtual-grid
 //	knnquery -op select -batch queries.txt -parallel 8
+//	knnquery -technique list
 //
 // In batch mode each line of the -batch file (or stdin when the path is
 // "-") holds one query as "x y k" (k optional, defaulting to -k); all
 // queries are estimated through the parallel batch API in one call.
+//
+// -technique names one registered estimation technique (canonical name or
+// alias; "list" prints the registry) and estimates with it alone, using the
+// default catalog options; without it, select mode compares the default
+// staircase against the density baseline and join mode compares all three
+// join techniques, honouring -maxk.
 package main
 
 import (
@@ -28,33 +36,59 @@ import (
 
 func main() {
 	var (
-		op       = flag.String("op", "select", "operator: select or join")
-		n        = flag.Int("n", 200_000, "inner/dataset size")
-		outerN   = flag.Int("outer", 50_000, "outer relation size (join only)")
-		seed     = flag.Int64("seed", 1, "dataset seed")
-		capacity = flag.Int("capacity", 256, "index block capacity")
-		x        = flag.Float64("x", 0, "query longitude (select only)")
-		y        = flag.Float64("y", 0, "query latitude (select only)")
-		k        = flag.Int("k", 10, "number of neighbors")
-		maxK     = flag.Int("maxk", 1000, "largest catalog-maintained k")
-		batch    = flag.String("batch", "", `file of "x y [k]" lines ("-" = stdin): batch select estimates`)
-		parallel = flag.Int("parallel", 0, "batch worker count (0 = GOMAXPROCS)")
+		op        = flag.String("op", "select", "operator: select or join")
+		n         = flag.Int("n", 200_000, "inner/dataset size")
+		outerN    = flag.Int("outer", 50_000, "outer relation size (join only)")
+		seed      = flag.Int64("seed", 1, "dataset seed")
+		capacity  = flag.Int("capacity", 256, "index block capacity")
+		x         = flag.Float64("x", 0, "query longitude (select only)")
+		y         = flag.Float64("y", 0, "query latitude (select only)")
+		k         = flag.Int("k", 10, "number of neighbors")
+		maxK      = flag.Int("maxk", 1000, "largest catalog-maintained k")
+		batch     = flag.String("batch", "", `file of "x y [k]" lines ("-" = stdin): batch select estimates`)
+		parallel  = flag.Int("parallel", 0, "batch worker count (0 = GOMAXPROCS)")
+		technique = flag.String("technique", "", `registered technique name or alias ("list" prints the registry)`)
 	)
 	flag.Parse()
 
+	if *technique == "list" {
+		listTechniques()
+		return
+	}
 	switch *op {
 	case "select":
 		if *batch != "" {
-			runSelectBatch(*n, *seed, *capacity, *batch, *k, *maxK, *parallel)
+			runSelectBatch(*n, *seed, *capacity, *batch, *k, *maxK, *parallel, *technique)
 			return
 		}
-		runSelect(*n, *seed, *capacity, *x, *y, *k, *maxK)
+		runSelect(*n, *seed, *capacity, *x, *y, *k, *maxK, *technique)
 	case "join":
-		runJoin(*n, *outerN, *seed, *capacity, *k, *maxK)
+		runJoin(*n, *outerN, *seed, *capacity, *k, *maxK, *technique)
 	default:
 		fmt.Fprintf(os.Stderr, "knnquery: unknown -op %q (want select or join)\n", *op)
 		os.Exit(1)
 	}
+}
+
+// listTechniques prints the technique registry, the single source every
+// consumer of this repository resolves names from.
+func listTechniques() {
+	fmt.Println("k-NN-Select techniques:")
+	for _, ti := range knncost.SelectTechniques() {
+		printTechnique(ti)
+	}
+	fmt.Println("\nk-NN-Join techniques:")
+	for _, ti := range knncost.JoinTechniques() {
+		printTechnique(ti)
+	}
+}
+
+func printTechnique(ti knncost.TechniqueInfo) {
+	aliases := ""
+	if len(ti.Aliases) > 0 {
+		aliases = fmt.Sprintf(" (aliases: %s)", strings.Join(ti.Aliases, ", "))
+	}
+	fmt.Printf("  %-14s %s%s\n", ti.Name, ti.Summary, aliases)
 }
 
 // readQueries parses one query per line: "x y" or "x y k". Blank lines and
@@ -98,7 +132,7 @@ func readQueries(r io.Reader, defaultK int) ([]knncost.SelectQuery, error) {
 	return queries, nil
 }
 
-func runSelectBatch(n int, seed int64, capacity int, path string, defaultK, maxK, parallel int) {
+func runSelectBatch(n int, seed int64, capacity int, path string, defaultK, maxK, parallel int, technique string) {
 	in := os.Stdin
 	if path != "-" {
 		f, err := os.Open(path)
@@ -115,16 +149,25 @@ func runSelectBatch(n int, seed int64, capacity int, path string, defaultK, maxK
 	pts := knncost.GenerateOSMLike(n, seed)
 	ix := knncost.BuildQuadtreeIndex(pts, knncost.IndexOptions{Capacity: capacity})
 	start := time.Now()
-	stair, err := knncost.NewStaircaseEstimator(ix, knncost.StaircaseOptions{MaxK: maxK})
-	if err != nil {
-		fatal(err)
+	var est knncost.SelectEstimator
+	if technique != "" {
+		var err error
+		if est, err = ix.SelectEstimatorFor(technique); err != nil {
+			fatal(err)
+		}
+	} else {
+		stair, err := knncost.NewStaircaseEstimator(ix, knncost.StaircaseOptions{MaxK: maxK})
+		if err != nil {
+			fatal(err)
+		}
+		est = stair
 	}
 	buildTime := time.Since(start)
 	fmt.Printf("dataset: %d points, %d blocks (capacity %d); catalogs built in %s\n",
 		n, ix.NumBlocks(), capacity, buildTime.Round(time.Millisecond))
 
 	start = time.Now()
-	results := stair.EstimateSelectBatch(queries, parallel)
+	results := knncost.EstimateSelectBatch(est, queries, parallel)
 	took := time.Since(start)
 	failed := 0
 	for i, res := range results {
@@ -144,7 +187,7 @@ func runSelectBatch(n int, seed int64, capacity int, path string, defaultK, maxK
 		len(queries), failed, took, perQuery)
 }
 
-func runSelect(n int, seed int64, capacity int, x, y float64, k, maxK int) {
+func runSelect(n int, seed int64, capacity int, x, y float64, k, maxK int, technique string) {
 	pts := knncost.GenerateOSMLike(n, seed)
 	ix := knncost.BuildQuadtreeIndex(pts, knncost.IndexOptions{Capacity: capacity})
 	q := knncost.Point{X: x, Y: y}
@@ -156,6 +199,22 @@ func runSelect(n int, seed int64, capacity int, x, y float64, k, maxK int) {
 	execTime := time.Since(start)
 	fmt.Printf("actual: %d blocks scanned, %d neighbors, %.4f max distance (%v)\n",
 		stats.BlocksScanned, len(neighbors), maxDist(neighbors), execTime)
+
+	if technique != "" {
+		start = time.Now()
+		est, err := ix.SelectEstimatorFor(technique)
+		if err != nil {
+			fatal(err)
+		}
+		buildTime := time.Since(start)
+		blocks, err := est.EstimateSelect(q, k)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s estimate: %8.2f blocks (catalogs: %s)\n",
+			technique, blocks, buildTime.Round(time.Millisecond))
+		return
+	}
 
 	start = time.Now()
 	stair, err := knncost.NewStaircaseEstimator(ix, knncost.StaircaseOptions{MaxK: maxK})
@@ -177,7 +236,7 @@ func runSelect(n int, seed int64, capacity int, x, y float64, k, maxK int) {
 	fmt.Printf("density-based estimate: %8.2f blocks (no preprocessing)\n", est)
 }
 
-func runJoin(n, outerN int, seed int64, capacity, k, maxK int) {
+func runJoin(n, outerN int, seed int64, capacity, k, maxK int, technique string) {
 	inner := knncost.BuildQuadtreeIndex(
 		knncost.GenerateOSMLike(n, seed), knncost.IndexOptions{Capacity: capacity})
 	outer := knncost.BuildQuadtreeIndex(
@@ -188,6 +247,19 @@ func runJoin(n, outerN int, seed int64, capacity, k, maxK int) {
 
 	actual := knncost.JoinKNNCost(outer, inner, k)
 	fmt.Printf("actual locality-based cost: %d blocks\n", actual)
+
+	if technique != "" {
+		est, err := outer.JoinEstimatorFor(technique, inner)
+		if err != nil {
+			fatal(err)
+		}
+		blocks, err := est.EstimateJoin(k)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s estimate: %10.0f blocks\n", technique, blocks)
+		return
+	}
 
 	bs := knncost.NewBlockSampleEstimator(outer, inner, 200)
 	est, err := bs.EstimateJoin(k)

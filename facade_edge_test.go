@@ -26,11 +26,19 @@ func TestFacadeEdgeCases(t *testing.T) {
 
 	t.Run("select", func(t *testing.T) {
 		for _, ix := range []*knncost.Index{tiny, dups, empty} {
-			if got := ix.SelectKNN(knncost.Point{X: 1, Y: 1}, 0); len(got) != 0 {
-				t.Fatalf("SelectKNN(k=0) returned %d neighbors", len(got))
-			}
-			if got := ix.SelectKNNCost(knncost.Point{X: 1, Y: 1}, 0); got != 0 {
-				t.Fatalf("SelectKNNCost(k=0) = %d, want 0", got)
+			// k < 1 — zero and negative alike — means no results and zero
+			// cost, never a panic.
+			for _, k := range []int{0, -1, -9} {
+				if got := ix.SelectKNN(knncost.Point{X: 1, Y: 1}, k); len(got) != 0 {
+					t.Fatalf("SelectKNN(k=%d) returned %d neighbors", k, len(got))
+				}
+				got, stats := ix.SelectKNNStats(knncost.Point{X: 1, Y: 1}, k)
+				if len(got) != 0 || stats.BlocksScanned != 0 {
+					t.Fatalf("SelectKNNStats(k=%d) = %d neighbors, %d blocks; want none", k, len(got), stats.BlocksScanned)
+				}
+				if got := ix.SelectKNNCost(knncost.Point{X: 1, Y: 1}, k); got != 0 {
+					t.Fatalf("SelectKNNCost(k=%d) = %d, want 0", k, got)
+				}
 			}
 			// k far beyond N returns every point and scans every block.
 			all := ix.SelectKNN(knncost.Point{X: 3, Y: 3}, 1000)
@@ -138,7 +146,7 @@ func TestFacadeEdgeCases(t *testing.T) {
 			t.Fatal(err)
 		}
 		queries := []knncost.SelectQuery{
-			{Point: knncost.Point{X: 1, Y: 1}, K: 0},    // error slot
+			{Point: knncost.Point{X: 1, Y: 1}, K: 0}, // error slot
 			{Point: knncost.Point{X: 1, Y: 1}, K: 3},
 			{Point: knncost.Point{X: 9999, Y: 0}, K: 5}, // outside MBR
 			{Point: knncost.Point{X: 2, Y: 2}, K: 1000}, // beyond N

@@ -1,0 +1,86 @@
+package engine
+
+import "knncost/internal/core"
+
+// Canonical names of the built-in techniques. The aliases registered
+// below preserve the pre-registry wire names of the HTTP service
+// ("staircase", "catalogmerge", "virtualgrid", "blocksample") so existing
+// clients keep working.
+const (
+	// TechStaircaseCC is the staircase estimator with Center+Corners
+	// interpolation (§3, Equations 1–2) — the paper's headline technique.
+	TechStaircaseCC = "staircase-cc"
+	// TechStaircaseC is the staircase estimator with Center-Only
+	// interpolation — cheaper catalogs, coarser estimates (§3).
+	TechStaircaseC = "staircase-c"
+	// TechDensity is the density-based baseline (§2, Tao et al.).
+	TechDensity = "density"
+	// TechBlockSample samples outer blocks and computes their localities
+	// at estimation time (§4.1).
+	TechBlockSample = "block-sample"
+	// TechCatalogMerge merges sampled locality catalogs into one catalog
+	// per (outer, inner) pair; estimation is a lookup (§4.2).
+	TechCatalogMerge = "catalog-merge"
+	// TechVirtualGrid keeps one locality catalog per cell of a grid over
+	// the inner relation — linear storage across a schema (§4.3).
+	TechVirtualGrid = "virtual-grid"
+)
+
+func init() {
+	RegisterSelect(SelectTechnique{
+		Name:         TechStaircaseCC,
+		Aliases:      []string{"staircase", "staircase-center-corners"},
+		Summary:      "staircase catalogs with Center+Corners interpolation (§3)",
+		Preprocessed: true,
+		Estimator: func(r *Relation) (core.SelectEstimator, error) {
+			return r.Staircase(core.ModeCenterCorners)
+		},
+	})
+	RegisterSelect(SelectTechnique{
+		Name:         TechStaircaseC,
+		Aliases:      []string{"staircase-center-only"},
+		Summary:      "staircase catalogs with Center-Only interpolation (§3)",
+		Preprocessed: true,
+		Estimator: func(r *Relation) (core.SelectEstimator, error) {
+			return r.Staircase(core.ModeCenterOnly)
+		},
+	})
+	RegisterSelect(SelectTechnique{
+		Name:    TechDensity,
+		Summary: "density-based baseline over the Count-Index (§2)",
+		Estimator: func(r *Relation) (core.SelectEstimator, error) {
+			return r.Density(), nil
+		},
+	})
+
+	RegisterJoin(JoinTechnique{
+		Name:    TechBlockSample,
+		Aliases: []string{"blocksample"},
+		Summary: "query-time localities for a sample of outer blocks (§4.1)",
+		Estimator: func(outer, inner *Relation) (core.JoinEstimator, error) {
+			return outer.BlockSample(inner), nil
+		},
+	})
+	RegisterJoin(JoinTechnique{
+		Name:         TechCatalogMerge,
+		Aliases:      []string{"catalogmerge"},
+		Summary:      "plane-sweep-merged locality catalog per relation pair (§4.2)",
+		Preprocessed: true,
+		Estimator: func(outer, inner *Relation) (core.JoinEstimator, error) {
+			return outer.CatalogMerge(inner)
+		},
+	})
+	RegisterJoin(JoinTechnique{
+		Name:         TechVirtualGrid,
+		Aliases:      []string{"virtualgrid"},
+		Summary:      "per-grid-cell locality catalogs over the inner relation (§4.3)",
+		Preprocessed: true,
+		Estimator: func(outer, inner *Relation) (core.JoinEstimator, error) {
+			vg, err := inner.VirtualGrid()
+			if err != nil {
+				return nil, err
+			}
+			return vg.Bind(outer.count), nil
+		},
+	})
+}

@@ -1,0 +1,264 @@
+// Package engine is the single home of the paper's estimation techniques:
+// one Relation model (a data index plus lazily built, cached per-technique
+// artifacts) and a named technique registry behind the small
+// core.SelectEstimator / core.JoinEstimator interfaces.
+//
+// Every consumer — the public facade, the planner, the relation store, the
+// HTTP service, and the CLIs — resolves techniques by name from here
+// instead of wiring concrete estimator types by hand. That is the paper's
+// own framing: the optimizer arbitrates among interchangeable techniques
+// (Staircase-C/CC vs density-based for k-NN-Select; Block-Sample vs
+// Catalog-Merge vs Virtual-Grid for k-NN-Join), so the technique set must
+// be a first-class, extensible registry rather than a fixed pair per call
+// site.
+//
+// A Relation builds each technique's preprocessing artifact (staircase
+// catalogs, virtual-grid catalogs, per-pair merge catalogs) at most once,
+// on first use, and callers that already hold a built artifact — the
+// store's warm-restart cache, for example — can Seed it so the engine
+// never rebuilds what exists. Estimates obtained through the engine are
+// bit-exact with the direct core constructions they replace (the
+// differential-oracle suite pins this).
+package engine
+
+import (
+	"sync"
+
+	"knncost/internal/core"
+	"knncost/internal/index"
+)
+
+// BuildOptions configure the preprocessing artifacts a Relation builds.
+// The zero value means the repository-wide defaults, matching
+// store.Options and the facade constructors.
+type BuildOptions struct {
+	// MaxK is the largest catalog-maintained k. Zero means core.DefaultMaxK.
+	MaxK int
+	// SampleSize is the sample size of the join techniques (Block-Sample,
+	// Catalog-Merge). Zero means 200.
+	SampleSize int
+	// GridSize is the Virtual-Grid dimension. Zero means 10.
+	GridSize int
+	// AuxCapacity is the leaf capacity of the auxiliary quadtree a
+	// staircase builds over a non-partitioning index (§3.3). Zero means the
+	// quadtree default.
+	AuxCapacity int
+	// Parallelism bounds the staircase build fan-out. Zero means
+	// GOMAXPROCS; the built catalogs are identical regardless.
+	Parallelism int
+}
+
+func (o BuildOptions) withDefaults() BuildOptions {
+	if o.MaxK == 0 {
+		o.MaxK = core.DefaultMaxK
+	}
+	if o.SampleSize == 0 {
+		o.SampleSize = 200
+	}
+	if o.GridSize == 0 {
+		o.GridSize = 10
+	}
+	return o
+}
+
+// artifactKey identifies one cached artifact of a Relation. Per-relation
+// artifacts (staircase, density, virtual grid) have a nil inner; pair
+// artifacts (catalog-merge) key on the identity of the inner relation.
+type artifactKey struct {
+	technique string
+	inner     *Relation
+}
+
+// artifact caches one build outcome — value or error — exactly once.
+type artifact struct {
+	once sync.Once
+	val  any
+	err  error
+}
+
+// Relation is an indexed dataset with cached per-technique preprocessing
+// artifacts. Artifacts are built at most once, on first use; concurrent
+// requests for the same artifact share one build. A Relation is safe for
+// concurrent use.
+type Relation struct {
+	name  string
+	tree  *index.Tree
+	count *index.Tree
+	opt   BuildOptions
+
+	mu        sync.Mutex
+	artifacts map[artifactKey]*artifact
+}
+
+// NewRelation wraps a data index as an engine relation. The Count-Index is
+// derived from the tree; use NewRelationWithCount when the caller already
+// holds one.
+func NewRelation(name string, tree *index.Tree, opt BuildOptions) *Relation {
+	return NewRelationWithCount(name, tree, nil, opt)
+}
+
+// NewRelationWithCount is NewRelation with a pre-derived Count-Index, so
+// callers that already built one (the store, the facade Index) do not pay
+// for a second derivation. A nil count is derived from the tree.
+func NewRelationWithCount(name string, tree, count *index.Tree, opt BuildOptions) *Relation {
+	if count == nil {
+		count = tree.CountTree()
+	}
+	return &Relation{
+		name:      name,
+		tree:      tree,
+		count:     count,
+		opt:       opt.withDefaults(),
+		artifacts: map[artifactKey]*artifact{},
+	}
+}
+
+// Name returns the relation name.
+func (r *Relation) Name() string { return r.name }
+
+// Tree returns the data index.
+func (r *Relation) Tree() *index.Tree { return r.tree }
+
+// Count returns the Count-Index.
+func (r *Relation) Count() *index.Tree { return r.count }
+
+// Options returns the effective (defaulted) build options.
+func (r *Relation) Options() BuildOptions { return r.opt }
+
+// slot returns the artifact cell for key, creating it on first request.
+// Only the map access is under the lock; builds run outside it, so a slow
+// staircase build never blocks an unrelated artifact.
+func (r *Relation) slot(key artifactKey) *artifact {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	a := r.artifacts[key]
+	if a == nil {
+		a = &artifact{}
+		r.artifacts[key] = a
+	}
+	return a
+}
+
+// buildOnce returns the cached artifact for key, running build on the
+// first request. Errors are cached too: a failed build is not retried.
+func (r *Relation) buildOnce(key artifactKey, build func() (any, error)) (any, error) {
+	a := r.slot(key)
+	a.once.Do(func() { a.val, a.err = build() })
+	return a.val, a.err
+}
+
+// Seed installs a pre-built per-relation artifact for a technique, so the
+// engine serves it instead of rebuilding. The value must be the artifact
+// type the technique builds (e.g. *core.Staircase for "staircase-cc",
+// *core.VirtualGrid for "virtual-grid", *core.DensityBased for
+// "density"). Seeding after the artifact was already built or seeded is a
+// no-op; the first value wins, matching the immutability of published
+// store snapshots.
+func (r *Relation) Seed(technique string, v any) {
+	r.seed(artifactKey{technique: technique}, v)
+}
+
+// SeedPair is Seed for a pair artifact, e.g. a *core.CatalogMerge built
+// for (r ⋉ inner).
+func (r *Relation) SeedPair(technique string, inner *Relation, v any) {
+	r.seed(artifactKey{technique: technique, inner: inner}, v)
+}
+
+func (r *Relation) seed(key artifactKey, v any) {
+	a := r.slot(key)
+	a.once.Do(func() { a.val = v })
+}
+
+// Density returns the relation's density-based estimator (§2, Tao et
+// al.), building it on first use. Construction cannot fail.
+func (r *Relation) Density() *core.DensityBased {
+	v, _ := r.buildOnce(artifactKey{technique: TechDensity}, func() (any, error) {
+		return core.NewDensityBased(r.count), nil
+	})
+	return v.(*core.DensityBased)
+}
+
+// Staircase returns the staircase estimator for the given mode, building
+// its catalogs on first use. The density artifact doubles as the fallback
+// for k > MaxK, exactly as the store and facade always configured it.
+func (r *Relation) Staircase(mode core.StaircaseMode) (*core.Staircase, error) {
+	var technique string
+	switch mode {
+	case core.ModeCenterCorners:
+		technique = TechStaircaseCC
+	case core.ModeCenterOnly:
+		technique = TechStaircaseC
+	default:
+		// Modes without a registered technique (Center+Quadrant) still
+		// cache under a distinct key so they never collide with the
+		// canonical artifacts.
+		technique = "staircase/" + mode.String()
+	}
+	v, err := r.buildOnce(artifactKey{technique: technique}, func() (any, error) {
+		return core.BuildStaircase(r.tree, core.StaircaseOptions{
+			MaxK:        r.opt.MaxK,
+			Mode:        mode,
+			AuxCapacity: r.opt.AuxCapacity,
+			Fallback:    r.Density(),
+			Parallelism: r.opt.Parallelism,
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*core.Staircase), nil
+}
+
+// VirtualGrid returns the relation's virtual-grid catalog set (§4.3),
+// built over the Count-Index on first use. It is the per-inner-relation
+// artifact of the "virtual-grid" join technique; Bind it to an outer
+// Count-Index to obtain a JoinEstimator.
+func (r *Relation) VirtualGrid() (*core.VirtualGrid, error) {
+	v, err := r.buildOnce(artifactKey{technique: TechVirtualGrid}, func() (any, error) {
+		return core.BuildVirtualGrid(r.count, r.opt.GridSize, r.opt.GridSize, r.opt.MaxK)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*core.VirtualGrid), nil
+}
+
+// CatalogMerge returns the Catalog-Merge estimator for (r ⋉ inner),
+// building and caching it per inner relation on first use (§4.2). The
+// outer relation's options govern the build, matching the store.
+func (r *Relation) CatalogMerge(inner *Relation) (*core.CatalogMerge, error) {
+	v, err := r.buildOnce(artifactKey{technique: TechCatalogMerge, inner: inner}, func() (any, error) {
+		return core.BuildCatalogMerge(r.count, inner.count, r.opt.SampleSize, r.opt.MaxK)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*core.CatalogMerge), nil
+}
+
+// BlockSample returns a Block-Sample estimator for (r ⋉ inner) (§4.1).
+// Block-Sample needs no preprocessing — localities are computed at
+// estimation time — so construction is per call and cannot fail.
+func (r *Relation) BlockSample(inner *Relation) *core.BlockSample {
+	return core.NewBlockSample(r.count, inner.count, r.opt.SampleSize)
+}
+
+// SelectEstimator resolves a registered select technique by name against
+// this relation, building (or serving the cached) artifact it needs.
+func (r *Relation) SelectEstimator(technique string) (core.SelectEstimator, error) {
+	t, err := LookupSelect(technique)
+	if err != nil {
+		return nil, err
+	}
+	return t.Estimator(r)
+}
+
+// JoinEstimator resolves a registered join technique by name for
+// (r ⋉ inner).
+func (r *Relation) JoinEstimator(technique string, inner *Relation) (core.JoinEstimator, error) {
+	t, err := LookupJoin(technique)
+	if err != nil {
+		return nil, err
+	}
+	return t.Estimator(r, inner)
+}

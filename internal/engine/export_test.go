@@ -1,0 +1,31 @@
+package engine
+
+// unregisterSelectForTest removes a technique registered by a test so the
+// global registry stays exactly the built-in set for every other test.
+func unregisterSelectForTest(name string) {
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	t := reg.selects[name]
+	if t == nil {
+		return
+	}
+	delete(reg.selects, name)
+	delete(reg.selectAlias, canonKey(name))
+	for _, a := range t.Aliases {
+		delete(reg.selectAlias, canonKey(a))
+	}
+}
+
+func unregisterJoinForTest(name string) {
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	t := reg.joins[name]
+	if t == nil {
+		return
+	}
+	delete(reg.joins, name)
+	delete(reg.joinAlias, canonKey(name))
+	for _, a := range t.Aliases {
+		delete(reg.joinAlias, canonKey(a))
+	}
+}

@@ -1,0 +1,193 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"knncost/internal/core"
+)
+
+// SelectTechnique is one named k-NN-Select estimation technique.
+type SelectTechnique struct {
+	// Name is the canonical registry name, e.g. "staircase-cc".
+	Name string
+	// Aliases also resolve to this technique (the pre-registry wire names
+	// of the HTTP service among them).
+	Aliases []string
+	// Summary is a one-line description for listings.
+	Summary string
+	// Preprocessed reports whether the technique builds a preprocessing
+	// artifact (cached on the Relation) as opposed to estimating directly
+	// off the index.
+	Preprocessed bool
+	// Estimator resolves the technique against a relation.
+	Estimator func(r *Relation) (core.SelectEstimator, error)
+}
+
+// JoinTechnique is one named k-NN-Join estimation technique.
+type JoinTechnique struct {
+	Name         string
+	Aliases      []string
+	Summary      string
+	Preprocessed bool
+	// Estimator resolves the technique for the ordered pair
+	// (outer ⋉ inner).
+	Estimator func(outer, inner *Relation) (core.JoinEstimator, error)
+}
+
+// registry holds the named techniques. Registration normally happens in
+// init (the built-ins below); the lock also admits test registrations and
+// future plugin-style extensions.
+type registry struct {
+	mu          sync.RWMutex
+	selects     map[string]*SelectTechnique // canonical name → technique
+	joins       map[string]*JoinTechnique
+	selectAlias map[string]string // every accepted name → canonical
+	joinAlias   map[string]string
+}
+
+var reg = &registry{
+	selects:     map[string]*SelectTechnique{},
+	joins:       map[string]*JoinTechnique{},
+	selectAlias: map[string]string{},
+	joinAlias:   map[string]string{},
+}
+
+// RegisterSelect adds a select technique to the registry. It panics on an
+// empty name, a nil estimator, or any name/alias collision — duplicate
+// registration is a programming error, caught at init time, never a
+// runtime condition to handle.
+func RegisterSelect(t SelectTechnique) {
+	if t.Name == "" || t.Estimator == nil {
+		panic("engine: select technique needs a name and an estimator")
+	}
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	for _, n := range append([]string{t.Name}, t.Aliases...) {
+		n = canonKey(n)
+		if prev, dup := reg.selectAlias[n]; dup {
+			panic(fmt.Sprintf("engine: select technique name %q already registered (by %q)", n, prev))
+		}
+	}
+	cp := t
+	cp.Aliases = append([]string(nil), t.Aliases...)
+	reg.selects[t.Name] = &cp
+	reg.selectAlias[canonKey(t.Name)] = t.Name
+	for _, a := range t.Aliases {
+		reg.selectAlias[canonKey(a)] = t.Name
+	}
+}
+
+// RegisterJoin adds a join technique to the registry; same contract as
+// RegisterSelect.
+func RegisterJoin(t JoinTechnique) {
+	if t.Name == "" || t.Estimator == nil {
+		panic("engine: join technique needs a name and an estimator")
+	}
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	for _, n := range append([]string{t.Name}, t.Aliases...) {
+		n = canonKey(n)
+		if prev, dup := reg.joinAlias[n]; dup {
+			panic(fmt.Sprintf("engine: join technique name %q already registered (by %q)", n, prev))
+		}
+	}
+	cp := t
+	cp.Aliases = append([]string(nil), t.Aliases...)
+	reg.joins[t.Name] = &cp
+	reg.joinAlias[canonKey(t.Name)] = t.Name
+	for _, a := range t.Aliases {
+		reg.joinAlias[canonKey(a)] = t.Name
+	}
+}
+
+// canonKey normalizes a lookup name: case-insensitive, surrounding
+// whitespace ignored.
+func canonKey(name string) string {
+	return strings.ToLower(strings.TrimSpace(name))
+}
+
+// LookupSelect resolves a select technique by canonical name or alias.
+// The error on an unknown name lists every registered canonical name.
+func LookupSelect(name string) (SelectTechnique, error) {
+	reg.mu.RLock()
+	defer reg.mu.RUnlock()
+	canon, ok := reg.selectAlias[canonKey(name)]
+	if !ok {
+		return SelectTechnique{}, fmt.Errorf("engine: unknown select technique %q (registered: %s)",
+			name, strings.Join(selectNamesLocked(), ", "))
+	}
+	return *reg.selects[canon], nil
+}
+
+// LookupJoin resolves a join technique by canonical name or alias.
+func LookupJoin(name string) (JoinTechnique, error) {
+	reg.mu.RLock()
+	defer reg.mu.RUnlock()
+	canon, ok := reg.joinAlias[canonKey(name)]
+	if !ok {
+		return JoinTechnique{}, fmt.Errorf("engine: unknown join technique %q (registered: %s)",
+			name, strings.Join(joinNamesLocked(), ", "))
+	}
+	return *reg.joins[canon], nil
+}
+
+// SelectNames returns the sorted canonical names of the registered select
+// techniques.
+func SelectNames() []string {
+	reg.mu.RLock()
+	defer reg.mu.RUnlock()
+	return selectNamesLocked()
+}
+
+// JoinNames returns the sorted canonical names of the registered join
+// techniques.
+func JoinNames() []string {
+	reg.mu.RLock()
+	defer reg.mu.RUnlock()
+	return joinNamesLocked()
+}
+
+// SelectTechniques returns the registered select techniques sorted by
+// canonical name.
+func SelectTechniques() []SelectTechnique {
+	reg.mu.RLock()
+	defer reg.mu.RUnlock()
+	out := make([]SelectTechnique, 0, len(reg.selects))
+	for _, name := range selectNamesLocked() {
+		out = append(out, *reg.selects[name])
+	}
+	return out
+}
+
+// JoinTechniques returns the registered join techniques sorted by
+// canonical name.
+func JoinTechniques() []JoinTechnique {
+	reg.mu.RLock()
+	defer reg.mu.RUnlock()
+	out := make([]JoinTechnique, 0, len(reg.joins))
+	for _, name := range joinNamesLocked() {
+		out = append(out, *reg.joins[name])
+	}
+	return out
+}
+
+func selectNamesLocked() []string {
+	names := make([]string, 0, len(reg.selects))
+	for name := range reg.selects {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func joinNamesLocked() []string {
+	names := make([]string, 0, len(reg.joins))
+	for name := range reg.joins {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,161 @@
+package engine
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"knncost/internal/core"
+)
+
+func TestBuiltinNames(t *testing.T) {
+	wantSelect := []string{TechDensity, TechStaircaseC, TechStaircaseCC}
+	if got := SelectNames(); !reflect.DeepEqual(got, wantSelect) {
+		t.Errorf("SelectNames() = %v, want %v", got, wantSelect)
+	}
+	wantJoin := []string{TechBlockSample, TechCatalogMerge, TechVirtualGrid}
+	if got := JoinNames(); !reflect.DeepEqual(got, wantJoin) {
+		t.Errorf("JoinNames() = %v, want %v", got, wantJoin)
+	}
+	if got := SelectTechniques(); len(got) != len(wantSelect) {
+		t.Errorf("SelectTechniques() has %d entries, want %d", len(got), len(wantSelect))
+	}
+	if got := JoinTechniques(); len(got) != len(wantJoin) {
+		t.Errorf("JoinTechniques() has %d entries, want %d", len(got), len(wantJoin))
+	}
+}
+
+func TestLookupAliases(t *testing.T) {
+	selectCases := map[string]string{
+		"staircase-cc":             TechStaircaseCC,
+		"staircase":                TechStaircaseCC, // legacy service wire name
+		"staircase-center-corners": TechStaircaseCC,
+		"staircase-c":              TechStaircaseC,
+		"staircase-center-only":    TechStaircaseC,
+		"density":                  TechDensity,
+		"  Density ":               TechDensity, // normalized
+		"STAIRCASE-CC":             TechStaircaseCC,
+	}
+	for in, want := range selectCases {
+		got, err := LookupSelect(in)
+		if err != nil {
+			t.Errorf("LookupSelect(%q): %v", in, err)
+			continue
+		}
+		if got.Name != want {
+			t.Errorf("LookupSelect(%q).Name = %q, want %q", in, got.Name, want)
+		}
+	}
+	joinCases := map[string]string{
+		"block-sample":  TechBlockSample,
+		"blocksample":   TechBlockSample,
+		"catalog-merge": TechCatalogMerge,
+		"catalogmerge":  TechCatalogMerge,
+		"virtual-grid":  TechVirtualGrid,
+		"virtualgrid":   TechVirtualGrid,
+	}
+	for in, want := range joinCases {
+		got, err := LookupJoin(in)
+		if err != nil {
+			t.Errorf("LookupJoin(%q): %v", in, err)
+			continue
+		}
+		if got.Name != want {
+			t.Errorf("LookupJoin(%q).Name = %q, want %q", in, got.Name, want)
+		}
+	}
+}
+
+func TestLookupUnknown(t *testing.T) {
+	_, err := LookupSelect("nope")
+	if err == nil {
+		t.Fatal("LookupSelect(nope) succeeded")
+	}
+	for _, name := range SelectNames() {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("unknown-select error %q does not list registered name %q", err, name)
+		}
+	}
+	_, err = LookupJoin("nope")
+	if err == nil {
+		t.Fatal("LookupJoin(nope) succeeded")
+	}
+	for _, name := range JoinNames() {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("unknown-join error %q does not list registered name %q", err, name)
+		}
+	}
+	// A select name is not a join name and vice versa.
+	if _, err := LookupJoin(TechDensity); err == nil {
+		t.Error("LookupJoin(density) succeeded; density is a select technique")
+	}
+	if _, err := LookupSelect(TechCatalogMerge); err == nil {
+		t.Error("LookupSelect(catalog-merge) succeeded; catalog-merge is a join technique")
+	}
+}
+
+func mustPanic(t *testing.T, what string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s did not panic", what)
+		}
+	}()
+	fn()
+}
+
+func TestRegisterContract(t *testing.T) {
+	noopSelect := func(*Relation) (core.SelectEstimator, error) { return nil, nil }
+	noopJoin := func(*Relation, *Relation) (core.JoinEstimator, error) { return nil, nil }
+
+	mustPanic(t, "duplicate select name", func() {
+		RegisterSelect(SelectTechnique{Name: TechStaircaseCC, Estimator: noopSelect})
+	})
+	mustPanic(t, "alias colliding with select name", func() {
+		RegisterSelect(SelectTechnique{Name: "fresh-select", Aliases: []string{"density"}, Estimator: noopSelect})
+	})
+	mustPanic(t, "name colliding with select alias", func() {
+		RegisterSelect(SelectTechnique{Name: "staircase", Estimator: noopSelect})
+	})
+	mustPanic(t, "empty select name", func() {
+		RegisterSelect(SelectTechnique{Estimator: noopSelect})
+	})
+	mustPanic(t, "nil select estimator", func() {
+		RegisterSelect(SelectTechnique{Name: "fresh-select"})
+	})
+	mustPanic(t, "duplicate join name", func() {
+		RegisterJoin(JoinTechnique{Name: TechCatalogMerge, Estimator: noopJoin})
+	})
+	mustPanic(t, "nil join estimator", func() {
+		RegisterJoin(JoinTechnique{Name: "fresh-join"})
+	})
+
+	// A failed registration must leave no trace: the fresh names above must
+	// still be unknown.
+	if _, err := LookupSelect("fresh-select"); err == nil {
+		t.Error("failed registration leaked name fresh-select into the registry")
+	}
+	if _, err := LookupJoin("fresh-join"); err == nil {
+		t.Error("failed registration leaked name fresh-join into the registry")
+	}
+
+	// A valid registration resolves by name and alias; registering the same
+	// name again panics.
+	RegisterSelect(SelectTechnique{Name: "test-select", Aliases: []string{"test-alias"}, Estimator: noopSelect})
+	defer unregisterSelectForTest("test-select")
+	if tech, err := LookupSelect("test-alias"); err != nil || tech.Name != "test-select" {
+		t.Errorf("LookupSelect(test-alias) = %v, %v; want test-select", tech.Name, err)
+	}
+	mustPanic(t, "re-registering test-select", func() {
+		RegisterSelect(SelectTechnique{Name: "test-select", Estimator: noopSelect})
+	})
+
+	RegisterJoin(JoinTechnique{Name: "test-join", Estimator: noopJoin})
+	defer unregisterJoinForTest("test-join")
+	if tech, err := LookupJoin("test-join"); err != nil || tech.Name != "test-join" {
+		t.Errorf("LookupJoin(test-join) = %v, %v; want test-join", tech.Name, err)
+	}
+	mustPanic(t, "re-registering test-join", func() {
+		RegisterJoin(JoinTechnique{Name: "test-join", Estimator: noopJoin})
+	})
+}

@@ -8,9 +8,11 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 	"time"
 
 	"knncost/internal/core"
+	"knncost/internal/engine"
 	"knncost/internal/geom"
 	"knncost/internal/index"
 	"knncost/internal/knn"
@@ -30,6 +32,11 @@ type AccuracyConfig struct {
 	MaxK       int // largest catalog-maintained k
 	SampleSize int // join-estimator sample size
 	GridSize   int // virtual-grid dimension (GridSize x GridSize)
+	// Techniques restricts the audit to the named techniques — engine
+	// registry names or aliases, resolved by ResolveAccuracyTechniques.
+	// Empty means all. A restricted report must not be gated against a
+	// full baseline (missing rows fail CompareAccuracy by design).
+	Techniques []string
 }
 
 func (c AccuracyConfig) withDefaults() AccuracyConfig {
@@ -189,6 +196,47 @@ var staircaseTechniques = []struct {
 	{"staircase_center_quadrant", core.ModeCenterQuadrant, oracle.ModeCenterQuadrant},
 }
 
+// accuracyRows maps each engine registry technique to the accuracy-report
+// row(s) it produces. staircase_center_quadrant is a report-only variant
+// with no registry name; it runs in unfiltered audits only.
+var accuracyRows = map[string][]string{
+	engine.TechStaircaseCC:  {"staircase_center_corners"},
+	engine.TechStaircaseC:   {"staircase_center_only"},
+	engine.TechDensity:      {"density"},
+	engine.TechBlockSample:  {"join_block_sample"},
+	engine.TechCatalogMerge: {"join_catalog_merge"},
+	engine.TechVirtualGrid:  {"join_virtual_grid"},
+}
+
+// ResolveAccuracyTechniques resolves technique names through the engine
+// registry (canonical names or aliases, case-insensitive) and returns the
+// set of accuracy-report rows they cover — the one place the harness and
+// its CLIs translate user-facing technique names. Empty input means "no
+// filter" and returns nil.
+func ResolveAccuracyTechniques(names []string) (map[string]bool, error) {
+	if len(names) == 0 {
+		return nil, nil
+	}
+	include := make(map[string]bool)
+	for _, n := range names {
+		if t, err := engine.LookupSelect(n); err == nil {
+			for _, r := range accuracyRows[t.Name] {
+				include[r] = true
+			}
+			continue
+		}
+		if t, err := engine.LookupJoin(n); err == nil {
+			for _, r := range accuracyRows[t.Name] {
+				include[r] = true
+			}
+			continue
+		}
+		return nil, fmt.Errorf("harness: unknown technique %q (select: %s; join: %s)",
+			n, strings.Join(engine.SelectNames(), ", "), strings.Join(engine.JoinNames(), ", "))
+	}
+	return include, nil
+}
+
 // RunAccuracy audits every estimation technique against the brute-force
 // oracle on the deterministic corpus: it checks the exact-equality
 // invariants (ground-truth costs match the literal simulation, context and
@@ -198,6 +246,11 @@ var staircaseTechniques = []struct {
 // report, so reports are diffable across commits.
 func RunAccuracy(cfg AccuracyConfig) (AccuracyReport, error) {
 	cfg = cfg.withDefaults()
+	filter, err := ResolveAccuracyTechniques(cfg.Techniques)
+	if err != nil {
+		return AccuracyReport{}, err
+	}
+	include := func(row string) bool { return filter == nil || filter[row] }
 	run := newAccuracyRun()
 	ws := oracle.Corpus(cfg.Seed, cfg.Points, cfg.Queries)
 	trees := make([]*index.Tree, len(ws))
@@ -214,6 +267,9 @@ func RunAccuracy(cfg AccuracyConfig) (AccuracyReport, error) {
 		density := core.NewDensityBased(count)
 		stairs := make([]*core.Staircase, len(staircaseTechniques))
 		for j, tech := range staircaseTechniques {
+			if !include(tech.name) {
+				continue
+			}
 			s, err := core.BuildStaircase(tree, core.StaircaseOptions{MaxK: cfg.MaxK, Mode: tech.coreMode})
 			if err != nil {
 				return AccuracyReport{}, fmt.Errorf("harness: accuracy %s build: %w", tech.name, err)
@@ -230,6 +286,9 @@ func RunAccuracy(cfg AccuracyConfig) (AccuracyReport, error) {
 					"%s: SelectCostContext(%v, k=%d) = %d,%v; plain %d", w.Name, q, k, ctxCost, err, truth)
 
 				for j, tech := range staircaseTechniques {
+					if stairs[j] == nil {
+						continue
+					}
 					got, err := stairs[j].EstimateSelect(q, k)
 					want, wantErr := oracle.StaircaseEstimate(tree, tech.oracleMode, q, k, cfg.MaxK,
 						func(p geom.Point, kk int) (float64, error) { return oracle.DensityEstimate(count, p, kk) })
@@ -237,46 +296,87 @@ func RunAccuracy(cfg AccuracyConfig) (AccuracyReport, error) {
 						"%s: %s(%v, k=%d) = %v,%v; oracle %v,%v", w.Name, tech.name, q, k, got, err, want, wantErr)
 					run.sample(tech.name, got, float64(truth))
 				}
-				got, err := density.EstimateSelect(q, k)
-				want, wantErr := oracle.DensityEstimate(count, q, k)
-				run.check(err == nil && wantErr == nil && got == want,
-					"%s: density(%v, k=%d) = %v,%v; oracle %v,%v", w.Name, q, k, got, err, want, wantErr)
-				run.sample("density", got, float64(truth))
+				if include("density") {
+					got, err := density.EstimateSelect(q, k)
+					want, wantErr := oracle.DensityEstimate(count, q, k)
+					run.check(err == nil && wantErr == nil && got == want,
+						"%s: density(%v, k=%d) = %v,%v; oracle %v,%v", w.Name, q, k, got, err, want, wantErr)
+					run.sample("density", got, float64(truth))
+				}
 			}
 		}
 
 		// Batch estimation must be indistinguishable from sequential calls,
-		// at any parallelism, with and without a context.
-		var batchQs []core.SelectQuery
-		for qi, q := range w.Queries {
-			batchQs = append(batchQs, core.SelectQuery{Point: q, K: w.Ks[qi%len(w.Ks)]})
+		// at any parallelism, with and without a context. Uses the first
+		// staircase the filter kept (skipped when none did).
+		var batchStair *core.Staircase
+		for _, s := range stairs {
+			if s != nil {
+				batchStair = s
+				break
+			}
 		}
-		batchQs = append(batchQs, core.SelectQuery{Point: w.Queries[0], K: 0}) // error slot
-		seq := make([]core.SelectResult, len(batchQs))
-		for qi, bq := range batchQs {
-			blocks, err := stairs[0].EstimateSelect(bq.Point, bq.K)
-			seq[qi] = core.SelectResult{Blocks: blocks, Err: err}
-		}
-		for _, par := range []int{1, 4} {
-			batch := core.EstimateSelectBatch(stairs[0], batchQs, par)
-			run.check(batchResultsEqual(batch, seq),
-				"%s: EstimateSelectBatch(parallelism=%d) != sequential", w.Name, par)
-			batchCtx, err := core.EstimateSelectBatchContext(ctx, stairs[0], batchQs, par)
-			run.check(err == nil && batchResultsEqual(batchCtx, seq),
-				"%s: EstimateSelectBatchContext(parallelism=%d) != sequential (%v)", w.Name, par, err)
+		if batchStair != nil {
+			var batchQs []core.SelectQuery
+			for qi, q := range w.Queries {
+				batchQs = append(batchQs, core.SelectQuery{Point: q, K: w.Ks[qi%len(w.Ks)]})
+			}
+			batchQs = append(batchQs, core.SelectQuery{Point: w.Queries[0], K: 0}) // error slot
+			seq := make([]core.SelectResult, len(batchQs))
+			for qi, bq := range batchQs {
+				blocks, err := batchStair.EstimateSelect(bq.Point, bq.K)
+				seq[qi] = core.SelectResult{Blocks: blocks, Err: err}
+			}
+			for _, par := range []int{1, 4} {
+				batch := core.EstimateSelectBatch(batchStair, batchQs, par)
+				run.check(batchResultsEqual(batch, seq),
+					"%s: EstimateSelectBatch(parallelism=%d) != sequential", w.Name, par)
+				batchCtx, err := core.EstimateSelectBatchContext(ctx, batchStair, batchQs, par)
+				run.check(err == nil && batchResultsEqual(batchCtx, seq),
+					"%s: EstimateSelectBatchContext(parallelism=%d) != sequential (%v)", w.Name, par, err)
+			}
 		}
 
 		// Join techniques, against the next workload as inner relation.
+		// Artifacts are built only for rows the filter kept; the whole
+		// block is skipped when no join technique is included.
+		if !include("join_block_sample") && !include("join_catalog_merge") && !include("join_virtual_grid") {
+			continue
+		}
 		inner := trees[(i+1)%len(trees)].CountTree()
-		cm, err := core.BuildCatalogMerge(count, inner, cfg.SampleSize, cfg.MaxK)
-		if err != nil {
-			return AccuracyReport{}, fmt.Errorf("harness: accuracy catalog-merge build: %w", err)
+		type joinTech struct {
+			name string
+			est  core.JoinEstimator
+			ref  func(int) (float64, error)
 		}
-		vg, err := core.BuildVirtualGrid(inner, cfg.GridSize, cfg.GridSize, cfg.MaxK)
-		if err != nil {
-			return AccuracyReport{}, fmt.Errorf("harness: accuracy virtual-grid build: %w", err)
+		var joinTechs []joinTech
+		if include("join_block_sample") {
+			joinTechs = append(joinTechs, joinTech{"join_block_sample",
+				core.NewBlockSample(count, inner, cfg.SampleSize),
+				func(k int) (float64, error) {
+					return oracle.BlockSampleEstimate(count, inner, cfg.SampleSize, k)
+				}})
 		}
-		bs := core.NewBlockSample(count, inner, cfg.SampleSize)
+		if include("join_catalog_merge") {
+			cm, err := core.BuildCatalogMerge(count, inner, cfg.SampleSize, cfg.MaxK)
+			if err != nil {
+				return AccuracyReport{}, fmt.Errorf("harness: accuracy catalog-merge build: %w", err)
+			}
+			joinTechs = append(joinTechs, joinTech{"join_catalog_merge", cm,
+				func(k int) (float64, error) {
+					return oracle.CatalogMergeEstimate(count, inner, cfg.SampleSize, cfg.MaxK, k)
+				}})
+		}
+		if include("join_virtual_grid") {
+			vg, err := core.BuildVirtualGrid(inner, cfg.GridSize, cfg.GridSize, cfg.MaxK)
+			if err != nil {
+				return AccuracyReport{}, fmt.Errorf("harness: accuracy virtual-grid build: %w", err)
+			}
+			joinTechs = append(joinTechs, joinTech{"join_virtual_grid", vg.Bind(count),
+				func(k int) (float64, error) {
+					return oracle.VirtualGridEstimate(count, inner, cfg.GridSize, cfg.GridSize, cfg.MaxK, k)
+				}})
+		}
 		for _, k := range w.Ks {
 			truth := oracle.JoinCost(count, inner, k)
 			run.check(knnjoin.Cost(count, inner, k) == truth,
@@ -285,22 +385,7 @@ func RunAccuracy(cfg AccuracyConfig) (AccuracyReport, error) {
 			run.check(err == nil && ctxCost == truth,
 				"%s: join CostContext(k=%d) = %d,%v; plain %d", w.Name, k, ctxCost, err, truth)
 
-			type joinTech struct {
-				name string
-				est  core.JoinEstimator
-				ref  func(int) (float64, error)
-			}
-			for _, tech := range []joinTech{
-				{"join_block_sample", bs, func(k int) (float64, error) {
-					return oracle.BlockSampleEstimate(count, inner, cfg.SampleSize, k)
-				}},
-				{"join_catalog_merge", cm, func(k int) (float64, error) {
-					return oracle.CatalogMergeEstimate(count, inner, cfg.SampleSize, cfg.MaxK, k)
-				}},
-				{"join_virtual_grid", vg.Bind(count), func(k int) (float64, error) {
-					return oracle.VirtualGridEstimate(count, inner, cfg.GridSize, cfg.GridSize, cfg.MaxK, k)
-				}},
-			} {
+			for _, tech := range joinTechs {
 				got, err := tech.est.EstimateJoin(k)
 				want, wantErr := tech.ref(k)
 				run.check(err == nil && wantErr == nil && got == want,

@@ -125,3 +125,64 @@ func TestFormatAccuracyTableMarksFailures(t *testing.T) {
 		t.Fatalf("table is missing the invariant summary:\n%s", table)
 	}
 }
+
+func TestResolveAccuracyTechniques(t *testing.T) {
+	got, err := ResolveAccuracyTechniques(nil)
+	if err != nil || got != nil {
+		t.Fatalf("nil filter: got %v, %v", got, err)
+	}
+	got, err = ResolveAccuracyTechniques([]string{"Staircase", "catalogmerge"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{"staircase_center_corners": true, "join_catalog_merge": true}
+	if len(got) != len(want) {
+		t.Fatalf("rows = %v, want %v", got, want)
+	}
+	for row := range want {
+		if !got[row] {
+			t.Errorf("row %s missing from %v", row, got)
+		}
+	}
+	if _, err := ResolveAccuracyTechniques([]string{"nope"}); err == nil ||
+		!strings.Contains(err.Error(), `unknown technique "nope"`) {
+		t.Fatalf("unknown name: err = %v", err)
+	}
+}
+
+// TestRunAccuracyTechniqueFilter checks a filtered audit carries exactly
+// the requested rows with the same samples as a full run.
+func TestRunAccuracyTechniqueFilter(t *testing.T) {
+	full := smallAccuracy(t)
+	rep, err := RunAccuracy(AccuracyConfig{
+		Seed: 7, Points: 120, Queries: 6,
+		Techniques: []string{"staircase-c", "virtual-grid"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Violations) != 0 {
+		t.Fatalf("filtered audit reported violations: %v", rep.Violations)
+	}
+	want := map[string]bool{"staircase_center_only": true, "join_virtual_grid": true}
+	if len(rep.Techniques) != len(want) {
+		t.Fatalf("filtered report rows: %v", rep.Techniques)
+	}
+	fullByName := make(map[string]TechniqueAccuracy)
+	for _, tech := range full.Techniques {
+		fullByName[tech.Technique] = tech
+	}
+	for _, tech := range rep.Techniques {
+		if !want[tech.Technique] {
+			t.Errorf("unexpected row %s in filtered report", tech.Technique)
+			continue
+		}
+		if fullByName[tech.Technique] != tech {
+			t.Errorf("%s: filtered row %+v differs from full run %+v",
+				tech.Technique, tech, fullByName[tech.Technique])
+		}
+	}
+	if _, err := RunAccuracy(AccuracyConfig{Seed: 7, Techniques: []string{"bogus"}}); err == nil {
+		t.Fatal("bogus technique accepted")
+	}
+}

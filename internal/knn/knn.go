@@ -132,6 +132,11 @@ func (b *Browser) Stats() Stats { return b.stats }
 // the blocks-scanned cost. It returns fewer than k neighbors when the index
 // holds fewer than k points.
 func Select(ix *index.Tree, q geom.Point, k int) ([]Neighbor, Stats) {
+	if k < 1 {
+		// Zero results cost zero blocks; a negative k must not reach the
+		// slice allocation below.
+		return nil, Stats{}
+	}
 	b := NewBrowser(ix, q)
 	out := make([]Neighbor, 0, k)
 	for len(out) < k {
@@ -148,6 +153,9 @@ func Select(ix *index.Tree, q geom.Point, k int) ([]Neighbor, Stats) {
 // distance browsing — the ground truth the estimators of internal/core are
 // judged against.
 func SelectCost(ix *index.Tree, q geom.Point, k int) int {
+	if k < 1 {
+		return 0
+	}
 	b := NewBrowser(ix, q)
 	for i := 0; i < k; i++ {
 		if _, ok := b.Next(); !ok {
@@ -163,6 +171,9 @@ func SelectCost(ix *index.Tree, q geom.Point, k int) int {
 // context's error and the cost accumulated so far — the partial value is
 // useful for logging but must not be reported as a ground truth.
 func SelectCostContext(ctx context.Context, ix *index.Tree, q geom.Point, k int) (int, error) {
+	if k < 1 {
+		return 0, nil
+	}
 	b := NewBrowser(ix, q)
 	for i := 0; i < k; i++ {
 		_, ok, err := b.next(ctx)

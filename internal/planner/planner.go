@@ -18,12 +18,14 @@
 package planner
 
 import (
+	"cmp"
 	"errors"
 	"fmt"
 	"math"
 	"sort"
 
 	"knncost/internal/core"
+	"knncost/internal/engine"
 	"knncost/internal/geom"
 	"knncost/internal/index"
 	"knncost/internal/knn"
@@ -32,7 +34,10 @@ import (
 	"knncost/internal/quadtree"
 )
 
-// Relation is a named, indexed dataset registered with the planner.
+// Relation is a named, indexed dataset registered with the planner. It is
+// backed by an engine.Relation, so every registered estimation technique
+// is available against it by name with its artifacts built once and
+// cached.
 type Relation struct {
 	// Name identifies the relation in plan descriptions.
 	Name string
@@ -41,18 +46,77 @@ type Relation struct {
 	// Estimator predicts k-NN-Select costs against the relation; nil
 	// means a density-based estimator over the Count-Index.
 	Estimator core.SelectEstimator
+	// Technique is the canonical registry name of Estimator when it was
+	// resolved by name; empty for caller-supplied estimators.
+	Technique string
 
+	eng   *engine.Relation
 	count *index.Tree
 }
 
 // NewRelation wraps an index as a relation. When est is nil a
 // density-based estimator is attached (build a staircase for serious use).
 func NewRelation(name string, tree *index.Tree, est core.SelectEstimator) *Relation {
-	count := tree.CountTree()
+	eng := engine.NewRelation(name, tree, engine.BuildOptions{})
+	technique := ""
 	if est == nil {
-		est = core.NewDensityBased(count)
+		est = eng.Density()
+		technique = engine.TechDensity
 	}
-	return &Relation{Name: name, Tree: tree, Estimator: est, count: count}
+	return &Relation{Name: name, Tree: tree, Estimator: est, Technique: technique, eng: eng, count: eng.Count()}
+}
+
+// NewRelationTechnique wraps an index as a relation whose select estimator
+// is resolved from the engine's technique registry by name (canonical or
+// alias); the technique's preprocessing artifact is built here. opt tunes
+// the artifact builds; the zero value means the repository defaults.
+func NewRelationTechnique(name string, tree *index.Tree, technique string, opt engine.BuildOptions) (*Relation, error) {
+	eng := engine.NewRelation(name, tree, opt)
+	tech, err := engine.LookupSelect(technique)
+	if err != nil {
+		return nil, fmt.Errorf("planner: %w", err)
+	}
+	est, err := tech.Estimator(eng)
+	if err != nil {
+		return nil, fmt.Errorf("planner: building %s estimator for %s: %w", tech.Name, name, err)
+	}
+	return &Relation{Name: name, Tree: tree, Estimator: est, Technique: tech.Name, eng: eng, count: eng.Count()}, nil
+}
+
+// Engine returns the relation's engine representation, through which
+// per-technique artifacts are resolved and cached.
+func (r *Relation) Engine() *engine.Relation { return r.eng }
+
+// TechniqueEstimate pairs one registered select technique with its
+// estimate for a query.
+type TechniqueEstimate struct {
+	// Technique is the canonical registry name.
+	Technique string
+	// Blocks is the estimated block-scan cost; meaningless when Err is
+	// non-nil.
+	Blocks float64
+	// Err reports an artifact-build or estimation failure for this
+	// technique only; other techniques in the sweep are unaffected.
+	Err error
+}
+
+// SelectTechniqueEstimates estimates σ_{k,q}(rel) under every registered
+// select technique, in canonical-name order — the technique-space sweep an
+// optimizer (or the knnquery CLI) runs to compare estimators side by side.
+func SelectTechniqueEstimates(rel *Relation, q geom.Point, k int) []TechniqueEstimate {
+	techs := engine.SelectTechniques()
+	out := make([]TechniqueEstimate, 0, len(techs))
+	for _, tech := range techs {
+		te := TechniqueEstimate{Technique: tech.Name}
+		est, err := tech.Estimator(rel.eng)
+		if err != nil {
+			te.Err = err
+		} else {
+			te.Blocks, te.Err = est.EstimateSelect(q, k)
+		}
+		out = append(out, te)
+	}
+	return out
 }
 
 // Filter is a tuple predicate with its estimated selectivity — the
@@ -237,6 +301,10 @@ type BatchOptions struct {
 	// SampleSize is the Catalog-Merge sample size used to estimate the
 	// shared-join cost. Zero means 200.
 	SampleSize int
+	// JoinTechnique names the registered join technique estimating the
+	// shared-join strategy (canonical name or alias). Empty means
+	// "catalog-merge".
+	JoinTechnique string
 }
 
 // PlanKNNSelectBatch plans a batch of k-NN-Selects with the same k against
@@ -288,16 +356,31 @@ func PlanKNNSelectBatch(rel *Relation, queries []geom.Point, k int, opt BatchOpt
 		Capacity: opt.Capacity,
 		Bounds:   bounds,
 	}).Index()
-	cm, err := core.BuildCatalogMerge(queryTree.CountTree(), rel.count, opt.SampleSize, k)
+	jt, err := engine.LookupJoin(cmp.Or(opt.JoinTechnique, engine.TechCatalogMerge))
+	if err != nil {
+		return nil, fmt.Errorf("planner: %w", err)
+	}
+	// The ephemeral query relation carries the batch-specific build
+	// options: catalogs only need to cover this batch's k, and the sample
+	// size is the planner's, not a stored relation's.
+	queryRel := engine.NewRelation("batch-queries", queryTree, engine.BuildOptions{
+		MaxK:       k,
+		SampleSize: opt.SampleSize,
+	})
+	est, err := jt.Estimator(queryRel, rel.eng)
 	if err != nil {
 		return nil, fmt.Errorf("planner: estimating shared join: %w", err)
 	}
-	joinCost, err := cm.EstimateJoin(k)
+	joinCost, err := est.EstimateJoin(k)
 	if err != nil {
 		return nil, err
 	}
+	desc := fmt.Sprintf("shared k-NN-Join (queries ⋉ %s)", rel.Name)
+	if jt.Name != engine.TechCatalogMerge {
+		desc = fmt.Sprintf("shared k-NN-Join (queries ⋉ %s, %s)", rel.Name, jt.Name)
+	}
 	shared := &Plan{
-		Description:   fmt.Sprintf("shared k-NN-Join (queries ⋉ %s)", rel.Name),
+		Description:   desc,
 		EstimatedCost: joinCost,
 		run: func() (any, int) {
 			return runSharedJoin(queryTree, rel.Tree, queries, k)

@@ -17,10 +17,17 @@
 //	/relations                        consistent listing: build state, version,
 //	                                  catalog sizes — one store snapshot
 //	/relations/{name}/status          one relation's build status
-//	/estimate/select?rel=R&x=&y=&k=&method=staircase|density
-//	/estimate/join?outer=R&inner=S&k=&method=catalogmerge|virtualgrid|blocksample
+//	/techniques                       the registered estimation techniques
+//	/estimate/select?rel=R&x=&y=&k=&technique=staircase-cc|staircase-c|density
+//	/estimate/join?outer=R&inner=S&k=&technique=catalog-merge|virtual-grid|block-sample
 //	/cost/select?rel=R&x=&y=&k=       actual cost (executes distance browsing)
 //	/cost/join?outer=R&inner=S&k=     actual cost (computes localities)
+//
+// Techniques are resolved by name from the internal/engine registry;
+// "technique" accepts every registered name or alias (the pre-registry
+// wire names "staircase", "density", "catalogmerge", "virtualgrid" and
+// "blocksample" are aliases) and the legacy "method" parameter remains a
+// synonym. An unknown name is 400 and lists what is registered.
 //
 // Write endpoints:
 //
@@ -51,6 +58,7 @@ import (
 	"time"
 
 	"knncost/internal/core"
+	"knncost/internal/engine"
 	"knncost/internal/geom"
 	"knncost/internal/index"
 	"knncost/internal/knn"
@@ -163,6 +171,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /relations", s.handleRelations)
 	s.mux.HandleFunc("POST /relations", s.handleRegisterRelation)
 	s.mux.HandleFunc("GET /relations/{name}/status", s.handleRelationStatus)
+	s.mux.HandleFunc("GET /techniques", s.handleTechniques)
 	s.mux.HandleFunc("DELETE /relations/{name}", s.handleDropRelation)
 	s.mux.HandleFunc("GET /estimate/select", s.handleEstimateSelect)
 	// The batch route owns its method dispatch (instead of a "POST ..."
@@ -267,6 +276,37 @@ func (s *Server) handleRelationStatus(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, infoFromStatus(st))
+}
+
+// TechniqueInfo describes one registered estimation technique in the
+// GET /techniques listing.
+type TechniqueInfo struct {
+	Name         string   `json:"name"`
+	Aliases      []string `json:"aliases,omitempty"`
+	Summary      string   `json:"summary"`
+	Preprocessed bool     `json:"preprocessed"`
+}
+
+// TechniquesResponse is the reply to GET /techniques: every select and join
+// technique the engine registry knows, in canonical (sorted) order.
+type TechniquesResponse struct {
+	Select []TechniqueInfo `json:"select"`
+	Join   []TechniqueInfo `json:"join"`
+}
+
+func (s *Server) handleTechniques(w http.ResponseWriter, _ *http.Request) {
+	var resp TechniquesResponse
+	for _, t := range engine.SelectTechniques() {
+		resp.Select = append(resp.Select, TechniqueInfo{
+			Name: t.Name, Aliases: t.Aliases, Summary: t.Summary, Preprocessed: t.Preprocessed,
+		})
+	}
+	for _, t := range engine.JoinTechniques() {
+		resp.Join = append(resp.Join, TechniqueInfo{
+			Name: t.Name, Aliases: t.Aliases, Summary: t.Summary, Preprocessed: t.Preprocessed,
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleDropRelation(w http.ResponseWriter, r *http.Request) {
@@ -457,7 +497,7 @@ func (s *Server) handleEstimateSelect(w http.ResponseWriter, r *http.Request) {
 		badRequest(w, "%v", err)
 		return
 	}
-	est, method, ok := s.selectEstimator(w, rel, r.URL.Query().Get("method"))
+	est, method, ok := s.selectEstimator(w, rel, techniqueParam(r))
 	if !ok {
 		return
 	}
@@ -473,28 +513,50 @@ func (s *Server) handleEstimateSelect(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// selectEstimator resolves a select-method name for rel; ok is false after
-// an error response has been written.
-func (s *Server) selectEstimator(w http.ResponseWriter, rel *store.Snapshot, method string) (core.SelectEstimator, string, bool) {
-	if method == "" {
-		method = "staircase"
+// techniqueParam extracts the technique name of a request: "technique" is
+// the parameter, "method" the pre-registry synonym kept for old clients.
+func techniqueParam(r *http.Request) string {
+	if t := r.URL.Query().Get("technique"); t != "" {
+		return t
 	}
-	switch method {
-	case "staircase":
-		return estimatorHook(rel.Staircase), method, true
-	case "density":
-		return estimatorHook(rel.Density), method, true
-	default:
-		badRequest(w, "unknown select method %q (want staircase or density)", method)
-		return nil, method, false
+	return r.URL.Query().Get("method")
+}
+
+// selectEstimator resolves a select technique name for rel through the
+// engine registry; ok is false after an error response has been written.
+// The returned string echoes what the client asked for (the canonical name
+// when it asked for nothing), not the resolved canonical name — clients
+// correlate responses by the string they sent.
+func (s *Server) selectEstimator(w http.ResponseWriter, rel *store.Snapshot, technique string) (core.SelectEstimator, string, bool) {
+	if technique == "" {
+		technique = engine.TechStaircaseCC
 	}
+	t, err := engine.LookupSelect(technique)
+	if err != nil {
+		badRequest(w, "unknown select method %q (registered techniques: %s)",
+			technique, strings.Join(engine.SelectNames(), ", "))
+		return nil, technique, false
+	}
+	est, err := t.Estimator(rel.Engine)
+	if err != nil {
+		// The name is valid; building its artifact for this relation failed.
+		// That is a server-side defect, not a client error.
+		writeJSON(w, http.StatusInternalServerError,
+			errorResponse{Error: fmt.Sprintf("building %s for %s: %v", t.Name, rel.Name, err)})
+		return nil, technique, false
+	}
+	return estimatorHook(est), technique, true
 }
 
 // BatchSelectRequest is the body of POST /estimate/select/batch.
 type BatchSelectRequest struct {
 	// Relation names the target relation (required).
 	Relation string `json:"relation"`
-	// Method is "staircase" (default) or "density".
+	// Technique names a registered select technique (see GET /techniques).
+	// Empty means staircase-cc.
+	Technique string `json:"technique,omitempty"`
+	// Method is the pre-registry synonym of Technique; Technique wins when
+	// both are set.
 	Method string `json:"method,omitempty"`
 	// Parallelism is the server-side worker count; 0 means GOMAXPROCS,
 	// 1 forces a serial loop. The results are identical either way.
@@ -574,7 +636,11 @@ func (s *Server) handleEstimateSelectBatch(w http.ResponseWriter, r *http.Reques
 	if !ok {
 		return
 	}
-	est, method, ok := s.selectEstimator(w, rel, req.Method)
+	technique := req.Technique
+	if technique == "" {
+		technique = req.Method
+	}
+	est, method, ok := s.selectEstimator(w, rel, technique)
 	if !ok {
 		return
 	}
@@ -636,29 +702,25 @@ func (s *Server) handleEstimateJoin(w http.ResponseWriter, r *http.Request) {
 		badRequest(w, "%v", err)
 		return
 	}
-	method := r.URL.Query().Get("method")
+	method := techniqueParam(r)
 	if method == "" {
-		method = "catalogmerge"
+		method = engine.TechCatalogMerge
 	}
-	var est core.JoinEstimator
-	switch method {
-	case "catalogmerge":
-		cm := v.Merge(outer.Name, inner.Name)
-		if cm == nil {
-			// Both snapshots are published, so the pair merge exists in
-			// every View unless its construction failed; retrying cannot
-			// help until a republish rebuilds it.
-			writeJSON(w, http.StatusInternalServerError,
-				errorResponse{Error: fmt.Sprintf("catalog-merge %s⋉%s unavailable", outer.Name, inner.Name)})
-			return
-		}
-		est = cm
-	case "virtualgrid":
-		est = inner.VGrid.Bind(outer.Count)
-	case "blocksample":
-		est = core.NewBlockSample(outer.Count, inner.Count, s.opt.SampleSize)
-	default:
-		badRequest(w, "unknown join method %q (want catalogmerge, virtualgrid or blocksample)", method)
+	jt, err := engine.LookupJoin(method)
+	if err != nil {
+		badRequest(w, "unknown join method %q (registered techniques: %s)",
+			method, strings.Join(engine.JoinNames(), ", "))
+		return
+	}
+	// Both engine relations come from the one View loaded above, so a
+	// catalog-merge resolves to the pair merge published with this exact
+	// schema — never a mix of versions.
+	est, err := jt.Estimator(outer.Engine, inner.Engine)
+	if err != nil {
+		// Both snapshots are published, so a pair artifact exists unless its
+		// construction failed; retrying cannot help until a rebuild.
+		writeJSON(w, http.StatusInternalServerError,
+			errorResponse{Error: fmt.Sprintf("%s %s⋉%s unavailable: %v", jt.Name, outer.Name, inner.Name, err)})
 		return
 	}
 	start := time.Now()

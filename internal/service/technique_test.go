@@ -1,0 +1,189 @@
+package service
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+
+	"knncost/internal/engine"
+)
+
+// TestTechniquesEndpoint pins the GET /techniques listing against the
+// engine registry: every registered technique appears, in canonical order,
+// with its aliases.
+func TestTechniquesEndpoint(t *testing.T) {
+	srv := testServer(t)
+	var out TechniquesResponse
+	if code := getJSON(t, srv.URL+"/techniques", &out); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	selNames := make([]string, len(out.Select))
+	for i, ti := range out.Select {
+		selNames[i] = ti.Name
+		if ti.Summary == "" {
+			t.Errorf("select technique %s has no summary", ti.Name)
+		}
+	}
+	joinNames := make([]string, len(out.Join))
+	for i, ti := range out.Join {
+		joinNames[i] = ti.Name
+	}
+	if got, want := strings.Join(selNames, ","), strings.Join(engine.SelectNames(), ","); got != want {
+		t.Errorf("select techniques = %s, want %s", got, want)
+	}
+	if got, want := strings.Join(joinNames, ","), strings.Join(engine.JoinNames(), ","); got != want {
+		t.Errorf("join techniques = %s, want %s", got, want)
+	}
+}
+
+// TestEstimateSelectTechniqueParam drives every registered select technique
+// (canonical names and aliases alike) through ?technique= and checks the
+// legacy alias answers agree exactly with their canonical names.
+func TestEstimateSelectTechniqueParam(t *testing.T) {
+	srv := testServer(t)
+	canonical := map[string]float64{}
+	for _, name := range engine.SelectNames() {
+		var out EstimateResponse
+		url := fmt.Sprintf("%s/estimate/select?rel=hotels&x=10&y=45&k=20&technique=%s", srv.URL, name)
+		if code := getJSON(t, url, &out); code != http.StatusOK {
+			t.Fatalf("%s: status %d (%+v)", name, code, out)
+		}
+		if out.Method != name {
+			t.Errorf("%s: echoed method %q", name, out.Method)
+		}
+		canonical[name] = out.Blocks
+	}
+	for alias, name := range map[string]string{
+		"staircase":             engine.TechStaircaseCC,
+		"STAIRCASE-CC":          engine.TechStaircaseCC,
+		"staircase-center-only": engine.TechStaircaseC,
+	} {
+		var out EstimateResponse
+		url := fmt.Sprintf("%s/estimate/select?rel=hotels&x=10&y=45&k=20&technique=%s", srv.URL, alias)
+		if code := getJSON(t, url, &out); code != http.StatusOK {
+			t.Fatalf("alias %s: status %d", alias, code)
+		}
+		if out.Blocks != canonical[name] {
+			t.Errorf("alias %s: %v blocks, canonical %s gives %v", alias, out.Blocks, name, canonical[name])
+		}
+		if out.Method != alias {
+			t.Errorf("alias %s: echoed method %q, want the client's string", alias, out.Method)
+		}
+	}
+
+	// technique wins over the legacy method parameter.
+	var viaTech, viaMethod EstimateResponse
+	getJSON(t, srv.URL+"/estimate/select?rel=hotels&x=10&y=45&k=20&technique=density&method=staircase", &viaTech)
+	getJSON(t, srv.URL+"/estimate/select?rel=hotels&x=10&y=45&k=20&method=density", &viaMethod)
+	if viaTech.Blocks != viaMethod.Blocks || viaTech.Method != "density" {
+		t.Errorf("technique did not take precedence over method: %+v vs %+v", viaTech, viaMethod)
+	}
+
+	// Unknown names are 400 and the message lists what is registered.
+	var errOut struct {
+		Error string `json:"error"`
+	}
+	code := getJSON(t, srv.URL+"/estimate/select?rel=hotels&x=10&y=45&k=20&technique=magic", &errOut)
+	if code != http.StatusBadRequest {
+		t.Fatalf("unknown technique: status %d", code)
+	}
+	if !strings.Contains(errOut.Error, "unknown select method") ||
+		!strings.Contains(errOut.Error, engine.TechStaircaseC) {
+		t.Errorf("unknown technique error %q does not list registered names", errOut.Error)
+	}
+}
+
+// TestEstimateJoinTechniqueParam drives every registered join technique
+// through ?technique= on both pair orders.
+func TestEstimateJoinTechniqueParam(t *testing.T) {
+	srv := testServer(t)
+	for _, name := range engine.JoinNames() {
+		for _, pair := range [][2]string{{"hotels", "restaurants"}, {"restaurants", "hotels"}} {
+			var out EstimateResponse
+			url := fmt.Sprintf("%s/estimate/join?outer=%s&inner=%s&k=15&technique=%s",
+				srv.URL, pair[0], pair[1], name)
+			if code := getJSON(t, url, &out); code != http.StatusOK {
+				t.Fatalf("%s %s⋉%s: status %d (%+v)", name, pair[0], pair[1], code, out)
+			}
+			if out.Blocks <= 0 || out.Method != name {
+				t.Errorf("%s %s⋉%s: response %+v", name, pair[0], pair[1], out)
+			}
+		}
+	}
+
+	var errOut struct {
+		Error string `json:"error"`
+	}
+	code := getJSON(t, srv.URL+"/estimate/join?outer=hotels&inner=restaurants&k=15&technique=magic", &errOut)
+	if code != http.StatusBadRequest {
+		t.Fatalf("unknown join technique: status %d", code)
+	}
+	if !strings.Contains(errOut.Error, "unknown join method") ||
+		!strings.Contains(errOut.Error, engine.TechVirtualGrid) {
+		t.Errorf("unknown join technique error %q does not list registered names", errOut.Error)
+	}
+}
+
+// TestBatchSelectTechniqueField exercises the batch body's technique field:
+// it selects the estimator, wins over the legacy method field, and every
+// registered select technique works in a batch.
+func TestBatchSelectTechniqueField(t *testing.T) {
+	srv := testServer(t)
+	queries := []BatchSelectQuery{{X: 10, Y: 45, K: 7}, {X: -30, Y: 51, K: 40}}
+	for _, name := range engine.SelectNames() {
+		var batch BatchSelectResponse
+		code := postJSON(t, srv.URL+"/estimate/select/batch", BatchSelectRequest{
+			Relation: "restaurants", Technique: name, Queries: queries,
+		}, &batch)
+		if code != http.StatusOK {
+			t.Fatalf("%s: status %d", name, code)
+		}
+		for i, q := range queries {
+			var single EstimateResponse
+			url := fmt.Sprintf("%s/estimate/select?rel=restaurants&x=%v&y=%v&k=%d&technique=%s",
+				srv.URL, q.X, q.Y, q.K, name)
+			if code := getJSON(t, url, &single); code != http.StatusOK {
+				t.Fatalf("%s single %d: status %d", name, i, code)
+			}
+			if batch.Results[i].Blocks != single.Blocks {
+				t.Errorf("%s query %d: batch %v != single %v", name, i, batch.Results[i].Blocks, single.Blocks)
+			}
+		}
+	}
+
+	// Technique wins over Method; an unknown technique fails the whole batch.
+	var out BatchSelectResponse
+	code := postJSON(t, srv.URL+"/estimate/select/batch", BatchSelectRequest{
+		Relation: "restaurants", Technique: "density", Method: "staircase", Queries: queries,
+	}, &out)
+	if code != http.StatusOK || out.Method != "density" {
+		t.Errorf("technique precedence in batch: status %d, method %q", code, out.Method)
+	}
+	var errOut struct {
+		Error string `json:"error"`
+	}
+	code = postJSON(t, srv.URL+"/estimate/select/batch", BatchSelectRequest{
+		Relation: "restaurants", Technique: "magic", Queries: queries,
+	}, &errOut)
+	if code != http.StatusBadRequest {
+		t.Errorf("unknown batch technique: status %d", code)
+	}
+}
+
+// TestSelectRejectsNegativeK is the service-layer leg of the uniform k < 1
+// contract: negative k is a 400 on the single endpoint for every technique.
+func TestSelectRejectsNegativeK(t *testing.T) {
+	srv := testServer(t)
+	for _, name := range engine.SelectNames() {
+		for _, k := range []int{0, -1, -100} {
+			var errOut struct {
+				Error string `json:"error"`
+			}
+			url := fmt.Sprintf("%s/estimate/select?rel=hotels&x=10&y=45&k=%d&technique=%s", srv.URL, k, name)
+			if code := getJSON(t, url, &errOut); code != http.StatusBadRequest {
+				t.Errorf("%s k=%d: status %d, want 400", name, k, code)
+			}
+		}
+	}
+}

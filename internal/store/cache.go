@@ -14,6 +14,7 @@ import (
 	"sync"
 
 	"knncost/internal/core"
+	"knncost/internal/engine"
 	"knncost/internal/geom"
 	"knncost/internal/index"
 )
@@ -24,20 +25,28 @@ import (
 // milliseconds what a cold one computes in seconds. Layout under the cache
 // directory:
 //
-//	registry.json                  name → fingerprint of live relations
-//	cat/<fp>/manifest.json         versioned build-parameter manifest
-//	cat/<fp>/points.bin            the relation's points (rebuilds the index)
-//	cat/<fp>/staircase.bin         core.Staircase (KNCS format)
-//	cat/<fp>/vgrid.bin             core.VirtualGrid (KNVG format)
-//	merge/<fpOuter>-<fpInner>.bin  core.CatalogMerge (KNCM format)
+//	registry.json                        name → fingerprint of live relations
+//	cat/<fp>/manifest.json               versioned build-parameter manifest
+//	cat/<fp>/points.bin                  the relation's points (rebuilds the index)
+//	cat/<fp>/staircase-cc.bin            core.Staircase (KNCS format)
+//	cat/<fp>/virtual-grid.bin            core.VirtualGrid (KNVG format)
+//	merge/<fpOuter>-<fpInner>-catalog-merge.bin  core.CatalogMerge (KNCM format)
+//
+// Per-relation artifact files are named after the engine technique that
+// produced them (see internal/engine), so adding a cached technique is a
+// new file, never a layout change. Techniques the store does not precompute
+// (e.g. staircase-c) have no file and build lazily in the snapshot's engine
+// relation.
 //
 // Everything is written atomically (temp file + rename) and every load
 // failure is treated as a cache miss, never an error: the worst corrupt
 // cache can do is force a rebuild.
 
 // cacheFormat is the manifest/registry format version; bump on any change
-// to the layout or to what a fingerprint covers.
-const cacheFormat = 1
+// to the layout or to what a fingerprint covers. Format 2 renamed the
+// artifact files to technique names (staircase.bin → staircase-cc.bin,
+// vgrid.bin → virtual-grid.bin) and keyed merge files by technique.
+const cacheFormat = 2
 
 // manifest records the parameters a cached relation was built with. A
 // manifest that does not match the store's current options is a miss (the
@@ -119,8 +128,13 @@ func shortFP(fp string) string {
 
 func (c *diskCache) catDir(fp string) string { return filepath.Join(c.dir, "cat", fp) }
 
+// artifactPath is the per-technique artifact file of one cached relation.
+func (c *diskCache) artifactPath(fp, technique string) string {
+	return filepath.Join(c.catDir(fp), technique+".bin")
+}
+
 func (c *diskCache) mergePath(fpOuter, fpInner string) string {
-	return filepath.Join(c.dir, "merge", fpOuter+"-"+fpInner+".bin")
+	return filepath.Join(c.dir, "merge", fpOuter+"-"+fpInner+"-"+engine.TechCatalogMerge+".bin")
 }
 
 // writeAtomic writes data to path via a temp file + rename, so readers
@@ -158,7 +172,7 @@ func (c *diskCache) loadManifest(fp string) (manifest, bool) {
 // loadRelation loads the staircase and virtual grid for fp against the
 // given (freshly rebuilt) data index.
 func (c *diskCache) loadRelation(fp string, tree *index.Tree, opt core.StaircaseOptions) (*core.Staircase, *core.VirtualGrid, error) {
-	sf, err := os.Open(filepath.Join(c.catDir(fp), "staircase.bin"))
+	sf, err := os.Open(c.artifactPath(fp, engine.TechStaircaseCC))
 	if err != nil {
 		return nil, nil, err
 	}
@@ -167,7 +181,7 @@ func (c *diskCache) loadRelation(fp string, tree *index.Tree, opt core.Staircase
 	if err != nil {
 		return nil, nil, fmt.Errorf("staircase: %w", err)
 	}
-	vf, err := os.Open(filepath.Join(c.catDir(fp), "vgrid.bin"))
+	vf, err := os.Open(c.artifactPath(fp, engine.TechVirtualGrid))
 	if err != nil {
 		return nil, nil, err
 	}
@@ -191,13 +205,13 @@ func (c *diskCache) storeRelation(fp string, m manifest, pts []geom.Point, stair
 	}); err != nil {
 		return fmt.Errorf("points: %w", err)
 	}
-	if err := writeAtomic(filepath.Join(dir, "staircase.bin"), func(f *os.File) error {
+	if err := writeAtomic(c.artifactPath(fp, engine.TechStaircaseCC), func(f *os.File) error {
 		_, err := stair.WriteTo(f)
 		return err
 	}); err != nil {
 		return fmt.Errorf("staircase: %w", err)
 	}
-	if err := writeAtomic(filepath.Join(dir, "vgrid.bin"), func(f *os.File) error {
+	if err := writeAtomic(c.artifactPath(fp, engine.TechVirtualGrid), func(f *os.File) error {
 		_, err := vg.WriteTo(f)
 		return err
 	}); err != nil {

@@ -46,6 +46,7 @@ import (
 	"time"
 
 	"knncost/internal/core"
+	"knncost/internal/engine"
 	"knncost/internal/geom"
 	"knncost/internal/index"
 	"knncost/internal/quadtree"
@@ -161,6 +162,11 @@ type Snapshot struct {
 	Density *core.DensityBased
 	// VGrid is the Virtual-Grid join estimator built over Count (§4.3).
 	VGrid *core.VirtualGrid
+	// Engine is the relation's engine.Relation, seeded at publication with
+	// the artifacts above so that technique resolution by name serves the
+	// exact same estimator objects. Techniques the store does not precompute
+	// (e.g. staircase-c) build lazily inside Engine, once per snapshot.
+	Engine *engine.Relation
 	// StaircaseBytes and VGridBytes are the serialized catalog sizes,
 	// computed once at publication.
 	StaircaseBytes int
@@ -705,6 +711,17 @@ func (s *Store) publishLocked(e *entry, b *builtRelation) {
 	if e.snap != nil {
 		version = e.snap.Version + 1
 	}
+	eng := engine.NewRelationWithCount(e.name, b.tree, b.count, engine.BuildOptions{
+		MaxK:       s.opt.MaxK,
+		SampleSize: s.opt.SampleSize,
+		GridSize:   s.opt.GridSize,
+	})
+	// Seed the engine with the artifacts this build already produced (or
+	// cache-loaded), so technique resolution never rebuilds what the store
+	// has: the engine serves these exact objects, bit for bit.
+	eng.Seed(engine.TechDensity, b.density)
+	eng.Seed(engine.TechStaircaseCC, b.staircase)
+	eng.Seed(engine.TechVirtualGrid, b.vgrid)
 	snap := &Snapshot{
 		Name:           e.name,
 		Version:        version,
@@ -714,6 +731,7 @@ func (s *Store) publishLocked(e *entry, b *builtRelation) {
 		Staircase:      b.staircase,
 		Density:        b.density,
 		VGrid:          b.vgrid,
+		Engine:         eng,
 		StaircaseBytes: b.staircase.StorageBytes(),
 		VGridBytes:     b.vgrid.StorageBytes(),
 	}
@@ -774,6 +792,13 @@ func (s *Store) republishLocked() {
 			}
 			v.merges[pair] = m
 		}
+	}
+	// Seed every pair merge into the outer relation's engine so join
+	// technique resolution by name returns the store's merge object.
+	// SeedPair is first-value-wins, so re-seeding a carried-over pair on a
+	// later republish is a no-op.
+	for pair, m := range v.merges {
+		v.relations[pair[0]].Engine.SeedPair(engine.TechCatalogMerge, v.relations[pair[1]].Engine, m)
 	}
 	s.view.Store(v)
 }

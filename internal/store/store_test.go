@@ -6,12 +6,12 @@ import (
 	"log"
 	"math/rand"
 	"os"
-	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
 
+	"knncost/internal/engine"
 	"knncost/internal/geom"
 	"knncost/internal/quadtree"
 )
@@ -501,7 +501,7 @@ func TestCorruptCacheFallsBackToRebuild(t *testing.T) {
 
 	// Truncate the staircase artifact to half its size.
 	c := &diskCache{dir: dir}
-	path := filepath.Join(c.catDir(fp), "staircase.bin")
+	path := c.artifactPath(fp, engine.TechStaircaseCC)
 	data, err := os.ReadFile(path)
 	if err != nil {
 		t.Fatalf("reading cached staircase: %v", err)

@@ -25,6 +25,9 @@
 package knncost
 
 import (
+	"sync"
+
+	"knncost/internal/engine"
 	"knncost/internal/geom"
 	"knncost/internal/grid"
 	"knncost/internal/index"
@@ -70,6 +73,12 @@ type IndexOptions struct {
 type Index struct {
 	tree  *index.Tree
 	count *index.Tree
+
+	// eng is the lazily created engine relation behind SelectEstimatorFor
+	// and JoinEstimatorFor; it caches each technique's artifact once per
+	// Index (see technique.go).
+	engOnce sync.Once
+	eng     *engine.Relation
 }
 
 // BuildQuadtreeIndex builds a region-quadtree index — the paper's testbed

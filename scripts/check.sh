@@ -1,16 +1,21 @@
 #!/bin/sh
-# Repository gate: vet, full tests, race tests on the concurrent packages,
-# a 1-iteration benchmark smoke, the estimator-accuracy regression gate,
-# and a short fuzz smoke of the oracle differential targets. Equivalent to
-# `make check`; kept as a script for environments without make.
+# Repository gate: vet, pinned static analysis, full tests, race tests on
+# the concurrent packages, a 1-iteration benchmark smoke, the coverage
+# floor, the estimator-accuracy regression gate, and a short fuzz smoke of
+# the oracle differential targets. Equivalent to `make check`; kept as a
+# script for environments without make.
 set -eux
 
 cd "$(dirname "$0")/.."
 
 go vet ./...
+sh scripts/lint.sh
 go test ./...
-go test -race ./internal/core/... ./internal/store/... ./internal/service/... ./internal/faultinject/... ./internal/oracle/... ./cmd/knncostd/...
+go test -race ./internal/core/... ./internal/engine/... ./internal/store/... ./internal/service/... ./internal/faultinject/... ./internal/oracle/... ./cmd/knncostd/...
 go test -run xxx -bench 'BenchmarkEstimateSelectHot|BenchmarkStaircaseBuildAlloc|BenchmarkFig13SelectPreprocessCC' -benchtime 1x .
+
+# Coverage floor: per-package statement coverage, internal/engine >= 85%.
+sh scripts/cover.sh
 
 # Estimator-accuracy gate: exact invariants must hold and q-error quantiles
 # must stay within 10% of the checked-in golden baseline.

@@ -1,0 +1,40 @@
+#!/bin/sh
+# Coverage gate: print per-package statement coverage and fail when
+# internal/engine — the technique registry and relation engine every layer
+# rests on — drops below the floor.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+ENGINE_PKG=knncost/internal/engine
+ENGINE_FLOOR=85.0
+
+out=$(go test -count=1 -cover ./...) || {
+	echo "$out"
+	echo "cover: tests failed" >&2
+	exit 1
+}
+echo "$out"
+
+engine_cov=$(echo "$out" | awk -v pkg="$ENGINE_PKG" '
+	$1 == "ok" && $2 == pkg {
+		for (i = 3; i <= NF; i++) if ($i == "coverage:") {
+			cov = $(i + 1)
+			sub(/%/, "", cov)
+			print cov
+		}
+	}')
+
+if [ -z "$engine_cov" ]; then
+	echo "cover: no coverage reported for $ENGINE_PKG" >&2
+	exit 1
+fi
+
+echo "$engine_cov" | awk -v floor="$ENGINE_FLOOR" -v pkg="$ENGINE_PKG" '
+	{
+		if ($1 + 0 < floor + 0) {
+			printf "cover: FAIL: %s at %.1f%%, floor %.1f%%\n", pkg, $1, floor
+			exit 1
+		}
+		printf "cover: PASS: %s at %.1f%% (floor %.1f%%)\n", pkg, $1, floor
+	}'

@@ -1,0 +1,53 @@
+#!/bin/sh
+# Static-analysis gate: staticcheck + govulncheck at pinned versions, so the
+# lint result is reproducible across machines. Tools are installed into the
+# repo-local .tools/ directory (never into the host GOPATH); in offline
+# environments where the pinned modules cannot be fetched and the tools are
+# not already present, the gate degrades to a warning and exits 0 — the
+# compile/test/race/accuracy gates in check.sh do not depend on it.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+STATICCHECK_VERSION=2025.1
+GOVULNCHECK_VERSION=v1.1.4
+TOOLS_DIR="$(pwd)/.tools"
+
+# resolve_tool NAME MODULE@VERSION: prints the tool path, installing it into
+# .tools/ if needed. Prints nothing when the tool is unavailable.
+resolve_tool() {
+	name=$1
+	module=$2
+	if [ -x "$TOOLS_DIR/$name" ]; then
+		echo "$TOOLS_DIR/$name"
+		return 0
+	fi
+	if GOBIN="$TOOLS_DIR" go install "$module" >/dev/null 2>&1 && [ -x "$TOOLS_DIR/$name" ]; then
+		echo "$TOOLS_DIR/$name"
+		return 0
+	fi
+	# Fall back to a tool already on PATH (version may differ; report it).
+	if command -v "$name" >/dev/null 2>&1; then
+		command -v "$name"
+		return 0
+	fi
+	return 1
+}
+
+status=0
+
+if staticcheck_bin=$(resolve_tool staticcheck "honnef.co/go/tools/cmd/staticcheck@$STATICCHECK_VERSION"); then
+	echo "lint: staticcheck ($staticcheck_bin)"
+	"$staticcheck_bin" ./... || status=1
+else
+	echo "lint: WARNING: staticcheck $STATICCHECK_VERSION unavailable (offline?); skipping" >&2
+fi
+
+if govulncheck_bin=$(resolve_tool govulncheck "golang.org/x/vuln/cmd/govulncheck@$GOVULNCHECK_VERSION"); then
+	echo "lint: govulncheck ($govulncheck_bin)"
+	"$govulncheck_bin" ./... || status=1
+else
+	echo "lint: WARNING: govulncheck $GOVULNCHECK_VERSION unavailable (offline?); skipping" >&2
+fi
+
+exit $status
