@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check vet lint cover race bench-smoke bench perf soak accuracy fuzz-smoke
+.PHONY: all build test check vet lint cover race bench-smoke bench perf bench-diff soak accuracy fuzz-smoke
 
 all: check
 
@@ -26,10 +26,11 @@ cover:
 # fan-out, the batch estimation workers, the engine's once-per-artifact
 # builds, the relation store's build pool and hot-swap publication, the HTTP
 # batch endpoint, the robustness middleware, the fault-injection harness,
-# the daemon's signal-driven drain, and the oracle differential suite
-# (which runs batches against live hot-swaps).
+# the daemon's signal-driven drain, the oracle differential suite
+# (which runs batches against live hot-swaps), and the shard tier's
+# scatter-gather, hedging, and mirror-on-demand machinery.
 race:
-	$(GO) test -race ./internal/core/... ./internal/engine/... ./internal/store/... ./internal/service/... ./internal/faultinject/... ./internal/oracle/... ./cmd/knncostd/...
+	$(GO) test -race ./internal/core/... ./internal/engine/... ./internal/store/... ./internal/service/... ./internal/faultinject/... ./internal/oracle/... ./internal/shard/... ./cmd/knncostd/...
 
 # One iteration of every benchmark: catches benchmarks that panic or
 # regress to building their fixture per op, without the full measurement
@@ -41,9 +42,10 @@ bench-smoke:
 check: vet
 	$(MAKE) lint
 	$(GO) test ./...
-	$(GO) test -race ./internal/core/... ./internal/engine/... ./internal/store/... ./internal/service/... ./internal/faultinject/... ./internal/oracle/... ./cmd/knncostd/...
+	$(GO) test -race ./internal/core/... ./internal/engine/... ./internal/store/... ./internal/service/... ./internal/faultinject/... ./internal/oracle/... ./internal/shard/... ./cmd/knncostd/...
 	$(GO) test -run xxx -bench 'BenchmarkEstimateSelectHot|BenchmarkStaircaseBuildAlloc|BenchmarkFig13SelectPreprocessCC' -benchtime 1x .
 	$(MAKE) cover
+	sh scripts/soak.sh shard
 	$(MAKE) accuracy
 	$(MAKE) fuzz-smoke
 
@@ -71,6 +73,16 @@ soak:
 bench:
 	$(GO) test -bench . -benchmem .
 
-# Machine-readable hot-path numbers: writes BENCH_<date>.json to results/.
+# Machine-readable hot-path numbers plus the routed multi-shard topology
+# sweep: writes BENCH_<date>.json to results/.
 perf:
-	$(GO) run ./cmd/knnbench -perf -out results
+	$(GO) run ./cmd/knnbench -perf -shards 1,2,4 -out results
+
+# Perf-trajectory gate: re-measure every hot path and fail when any op in
+# the newest committed BENCH_<date>.json regresses by more than 20% ns/op.
+# The fresh numbers go to a temp dir so the committed trajectory only ever
+# advances via a deliberate `make perf`.
+bench-diff:
+	$(GO) run ./cmd/knnbench -perf -shards 1,2,4 \
+		-out "$$(mktemp -d)" \
+		-against "$$(ls results/BENCH_*.json | sort | tail -n1)"

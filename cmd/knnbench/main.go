@@ -28,6 +28,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"knncost/internal/harness"
@@ -47,6 +48,9 @@ func main() {
 		sample   = flag.Int("sample", 0, "fixed sample size for join catalogs (0 = default)")
 		gridSize = flag.Int("grid", 0, "fixed virtual-grid dimension (0 = default)")
 		perf     = flag.Bool("perf", false, "run hot-path microbenchmarks and write BENCH_<date>.json (op, ns/op, allocs/op, bytes/op)")
+		shards   = flag.String("shards", "", "with -perf: also measure routed batch throughput at these comma-separated shard counts (e.g. 1,2,4)")
+		against  = flag.String("against", "", "with -perf: gate this run against a committed BENCH_<date>.json (exit 1 beyond -perf-tol)")
+		perfTol  = flag.Float64("perf-tol", 1.20, "multiplicative ns/op tolerance vs -against")
 		accuracy = flag.Bool("accuracy", false, "audit estimator accuracy against the brute-force oracle and write ACCURACY_<date>.json")
 		baseline = flag.String("baseline", "", "golden AccuracyReport to gate against (with -accuracy)")
 		tol      = flag.Float64("tol", 1.10, "multiplicative q-error tolerance vs the baseline (with -accuracy)")
@@ -64,21 +68,10 @@ func main() {
 	}
 
 	if *perf {
-		results, err := harness.RunPerf(*seed)
-		if err != nil {
+		if err := runPerf(*seed, *outDir, *shards, *against, *perfTol); err != nil {
 			fmt.Fprintln(os.Stderr, "knnbench:", err)
 			os.Exit(1)
 		}
-		for _, r := range results {
-			fmt.Printf("%-32s %14.1f ns/op %8d allocs/op %12d B/op\n",
-				r.Op, r.NsPerOp, r.AllocsPerOp, r.BytesPerOp)
-		}
-		path, err := harness.WritePerfJSON(*outDir, results)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "knnbench:", err)
-			os.Exit(1)
-		}
-		fmt.Println("wrote", path)
 		return
 	}
 
@@ -118,6 +111,72 @@ func main() {
 		fmt.Fprintln(os.Stderr, "knnbench:", err)
 		os.Exit(1)
 	}
+}
+
+// runPerf measures the hot-path microbenchmarks (plus, with -shards, the
+// routed multi-shard batch throughput), writes BENCH_<date>.json, and — with
+// -against — gates the fresh numbers against a committed BENCH file so a
+// perf regression fails loudly instead of landing silently.
+func runPerf(seed int64, outDir, shardList, against string, tol float64) error {
+	results, err := harness.RunPerf(seed)
+	if err != nil {
+		return err
+	}
+	if shardList != "" {
+		counts, err := parseShardCounts(shardList)
+		if err != nil {
+			return err
+		}
+		shardResults, err := harness.RunShardPerf(seed, counts)
+		if err != nil {
+			return err
+		}
+		results = append(results, shardResults...)
+	}
+	for _, r := range results {
+		fmt.Printf("%-36s %14.1f ns/op %8d allocs/op %12d B/op\n",
+			r.Op, r.NsPerOp, r.AllocsPerOp, r.BytesPerOp)
+	}
+	path, err := harness.WritePerfJSON(outDir, results)
+	if err != nil {
+		return err
+	}
+	fmt.Println("wrote", path)
+	if against == "" {
+		return nil
+	}
+	base, err := harness.LoadPerfJSON(against)
+	if err != nil {
+		return fmt.Errorf("loading perf baseline: %w", err)
+	}
+	failures := harness.ComparePerf(results, base, tol)
+	for _, f := range failures {
+		fmt.Fprintln(os.Stderr, "FAIL:", f)
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("perf gate: %d regressions vs %s (tol %.2f)", len(failures), against, tol)
+	}
+	fmt.Printf("perf gate: PASS vs %s (tol %.2f)\n", against, tol)
+	return nil
+}
+
+func parseShardCounts(s string) ([]int, error) {
+	var counts []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad shard count %q", part)
+		}
+		counts = append(counts, n)
+	}
+	if len(counts) == 0 {
+		return nil, fmt.Errorf("-shards given but empty")
+	}
+	return counts, nil
 }
 
 // splitTechniques parses the -techniques flag value into trimmed, non-empty

@@ -7,6 +7,17 @@
 //
 //	knncostd -addr :8080 -relations hotels:50000,restaurants:200000
 //
+// The daemon also scales out (see internal/shard): started with -shard-id it
+// serves one shard of a topology (its slice of a shared -cache-dir stays
+// private via a per-shard registry scope), and started with -router -peers it
+// serves no data at all — just the stateless scatter-gather router exposing
+// the identical public HTTP surface over the shard set, with replica fan-out
+// and hedged requests:
+//
+//	knncostd -shard-id a -addr :8081 -relations none -cache-dir /var/knn
+//	knncostd -shard-id b -addr :8082 -relations none -cache-dir /var/knn
+//	knncostd -router -addr :8080 -peers a=http://localhost:8081,b=http://localhost:8082
+//
 //	curl 'localhost:8080/relations'
 //	curl 'localhost:8080/estimate/select?rel=restaurants&x=10&y=45&k=25'
 //	curl 'localhost:8080/estimate/join?outer=hotels&inner=restaurants&k=5'
@@ -51,6 +62,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/url"
 	"os"
 	"os/signal"
 	"strconv"
@@ -63,6 +75,7 @@ import (
 	"knncost/internal/datagen"
 	"knncost/internal/service"
 	"knncost/internal/service/middleware"
+	"knncost/internal/shard"
 	"knncost/internal/store"
 )
 
@@ -131,8 +144,37 @@ func run(args []string, stdout io.Writer) int {
 		writeTimeout = fs.Duration("write-timeout", 30*time.Second, "http.Server WriteTimeout")
 		idleTimeout  = fs.Duration("idle-timeout", 120*time.Second, "http.Server IdleTimeout")
 		accessLog    = fs.Bool("access-log", true, "log one structured line per request")
+
+		shardID = fs.String("shard-id", "",
+			"serve as one shard of a topology: scopes the cache registry so shards can share -cache-dir")
+		routerMode = fs.Bool("router", false,
+			"serve as the stateless shard router instead of a relation store (requires -peers)")
+		peers = fs.String("peers", "",
+			"router peers, comma-separated id=url (or bare url; the host:port becomes the id)")
+		replicas = fs.Int("replicas", 2,
+			"router replica fan-out: every relation is owned by this many shards (clamped to the shard count)")
+		hedgeAfter = fs.Duration("hedge-after", 20*time.Millisecond,
+			"router hedge delay floor; the adaptive delay is the observed -hedge-percentile of the primary (0 disables hedging)")
+		hedgePercentile = fs.Float64("hedge-percentile", 0.95,
+			"latency percentile of the primary replica used as the adaptive hedge delay")
 	)
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *routerMode {
+		return runRouter(routerConfig{
+			addr: *addr, peers: *peers, replicas: *replicas,
+			hedgeAfter: *hedgeAfter, hedgePercentile: *hedgePercentile,
+			estimateDeadline: *estimateDeadline, costDeadline: *costDeadline,
+			adminDeadline: *adminDeadline, maxInFlight: *maxInFlight,
+			queueLen: *queueLen, retryAfter: *retryAfter, drain: *drain,
+			readTimeout: *readTimeout, writeTimeout: *writeTimeout,
+			idleTimeout: *idleTimeout, accessLog: *accessLog,
+		}, stdout)
+	}
+	if *peers != "" {
+		log.Printf("knncostd: -peers requires -router")
 		return 2
 	}
 
@@ -160,6 +202,7 @@ func run(args []string, stdout io.Writer) int {
 		Bounds:        datagen.WorldBounds,
 		Workers:       *buildWorkers,
 		CacheDir:      *cacheDir,
+		RegistryScope: *shardID,
 	})
 	if err != nil {
 		log.Printf("knncostd: %v", err)
@@ -283,7 +326,14 @@ type relationSpec struct {
 	n    int
 }
 
+// parseRelations parses the -relations flag. Empty or "none" means no boot
+// relations — a shard daemon starts with whatever its scoped cache registry
+// restores (or nothing) and is populated through the router.
 func parseRelations(s string) ([]relationSpec, error) {
+	s = strings.TrimSpace(s)
+	if s == "" || s == "none" {
+		return nil, nil
+	}
 	var specs []relationSpec
 	for _, spec := range strings.Split(s, ",") {
 		name, countStr, ok := strings.Cut(strings.TrimSpace(spec), ":")
@@ -296,8 +346,198 @@ func parseRelations(s string) ([]relationSpec, error) {
 		}
 		specs = append(specs, relationSpec{name: name, n: n})
 	}
-	if len(specs) == 0 {
-		return nil, fmt.Errorf("no relations given")
-	}
 	return specs, nil
+}
+
+// --- router mode -------------------------------------------------------------
+
+// routerConfig is the flag subset the router mode uses.
+type routerConfig struct {
+	addr            string
+	peers           string
+	replicas        int
+	hedgeAfter      time.Duration
+	hedgePercentile float64
+
+	estimateDeadline, costDeadline, adminDeadline time.Duration
+	maxInFlight, queueLen                         int
+	retryAfter, drain                             time.Duration
+	readTimeout, writeTimeout, idleTimeout        time.Duration
+	accessLog                                     bool
+}
+
+// routerVars bridges the current router's counters into expvar, published
+// once and read through an atomic pointer (same pattern as the store vars:
+// tests run several daemons per process).
+var (
+	routerVarsOnce sync.Once
+	varsRouter     atomic.Pointer[shard.Router]
+)
+
+func publishRouterVars(rt *shard.Router) {
+	varsRouter.Store(rt)
+	routerVarsOnce.Do(func() {
+		counter := func(read func(*shard.Router) int64) expvar.Func {
+			return func() any {
+				if r := varsRouter.Load(); r != nil {
+					return read(r)
+				}
+				return int64(0)
+			}
+		}
+		expvar.Publish("knnrouter_hedges", counter((*shard.Router).Hedges))
+		expvar.Publish("knnrouter_hedge_wins", counter((*shard.Router).HedgeWins))
+		expvar.Publish("knnrouter_rebalance_restores", counter((*shard.Router).WarmRestores))
+		expvar.Publish("knnrouter_requests", expvar.Func(func() any {
+			if r := varsRouter.Load(); r != nil {
+				return r.RequestsByShard()
+			}
+			return map[string]int64{}
+		}))
+	})
+}
+
+// parsePeers parses the -peers flag: comma-separated id=url, or bare URLs
+// whose host:port becomes the shard ID.
+func parsePeers(s string) ([]shard.Shard, error) {
+	var shards []shard.Shard
+	for _, spec := range strings.Split(s, ",") {
+		spec = strings.TrimSpace(spec)
+		if spec == "" {
+			continue
+		}
+		id, rawURL, ok := strings.Cut(spec, "=")
+		if !ok {
+			rawURL = spec
+			u, err := url.Parse(rawURL)
+			if err != nil || u.Host == "" {
+				return nil, fmt.Errorf("bad peer %q (want id=url or url)", spec)
+			}
+			id = u.Host
+		}
+		shards = append(shards, shard.Shard{ID: id, BaseURL: rawURL})
+	}
+	if len(shards) == 0 {
+		return nil, fmt.Errorf("router mode needs at least one peer (-peers id=url,...)")
+	}
+	return shards, nil
+}
+
+// runRouter serves the stateless shard router: the public estimation surface
+// over a set of shard daemons, with no local relation store. Readiness flips
+// once every peer has answered /healthz, so orchestrators sequence shard
+// boot before router traffic the same way they sequence catalog builds on a
+// single node.
+func runRouter(cfg routerConfig, stdout io.Writer) int {
+	shards, err := parsePeers(cfg.peers)
+	if err != nil {
+		log.Printf("knncostd: %v", err)
+		return 2
+	}
+
+	ln, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		log.Printf("knncostd: listen: %v", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "knncostd router listening on %s\n", ln.Addr())
+
+	rt, err := shard.New(shards, shard.Options{
+		Replicas:        cfg.replicas,
+		HedgeAfter:      cfg.hedgeAfter,
+		HedgePercentile: cfg.hedgePercentile,
+	})
+	if err != nil {
+		log.Printf("knncostd: %v", err)
+		ln.Close()
+		return 1
+	}
+	publishRouterVars(rt)
+
+	wrapped, _ := middleware.Wrap(rt, middleware.Config{
+		EstimateDeadline: cfg.estimateDeadline,
+		CostDeadline:     cfg.costDeadline,
+		AdminDeadline:    cfg.adminDeadline,
+		MaxInFlight:      cfg.maxInFlight,
+		QueueLen:         cfg.queueLen,
+		RetryAfter:       cfg.retryAfter,
+		AccessLog:        cfg.accessLog,
+	})
+
+	var gate middleware.Ready
+	rootMux := http.NewServeMux()
+	rootMux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintln(w, `{"status":"ok"}`)
+	})
+	rootMux.Handle("GET /readyz", gate.Handler())
+	rootMux.Handle("GET /debug/vars", expvar.Handler())
+	rootMux.Handle("/", wrapped)
+
+	httpSrv := &http.Server{
+		Handler:           rootMux,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       cfg.readTimeout,
+		WriteTimeout:      cfg.writeTimeout,
+		IdleTimeout:       cfg.idleTimeout,
+	}
+
+	probeCtx, stopProbe := context.WithCancel(context.Background())
+	defer stopProbe()
+	go func() {
+		start := time.Now()
+		for _, s := range shards {
+			probeURL := strings.TrimSuffix(s.BaseURL, "/") + "/healthz"
+			for {
+				req, err := http.NewRequestWithContext(probeCtx, http.MethodGet, probeURL, nil)
+				if err != nil {
+					log.Printf("knncostd: probing %s: %v", s.ID, err)
+					return
+				}
+				if resp, err := http.DefaultClient.Do(req); err == nil {
+					resp.Body.Close()
+					if resp.StatusCode == http.StatusOK {
+						break
+					}
+				}
+				select {
+				case <-probeCtx.Done():
+					return
+				case <-time.After(100 * time.Millisecond):
+				}
+			}
+		}
+		log.Printf("all %d shards healthy in %v", len(shards), time.Since(start).Round(time.Millisecond))
+		gate.SetReady()
+		log.Printf("ready: routing across %d shards (replicas %d)", len(shards), cfg.replicas)
+	}()
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	sigCtx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	select {
+	case err := <-serveErr:
+		log.Printf("knncostd: serve: %v", err)
+		return 1
+	case <-sigCtx.Done():
+	}
+
+	log.Printf("signal received, draining (timeout %v)", cfg.drain)
+	gate.SetDraining()
+	ctx, cancel := context.WithTimeout(context.Background(), cfg.drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		log.Printf("knncostd: drain timeout exceeded: %v", err)
+		httpSrv.Close()
+		return 1
+	}
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("knncostd: serve: %v", err)
+		return 1
+	}
+	log.Printf("drained cleanly")
+	return 0
 }

@@ -187,7 +187,15 @@ func TestParseRelations(t *testing.T) {
 	if err != nil || len(specs) != 2 || specs[0].name != "a" || specs[1].n != 20 {
 		t.Fatalf("specs=%v err=%v", specs, err)
 	}
-	for _, bad := range []string{"", "a", "a:", "a:0", "a:-5", "a:x"} {
+	// Empty and the explicit "none" mean no preloaded relations — a shard
+	// daemon starts empty and is populated through the router.
+	for _, none := range []string{"", "none"} {
+		specs, err := parseRelations(none)
+		if err != nil || specs != nil {
+			t.Errorf("parseRelations(%q) = %v, %v; want nil, nil", none, specs, err)
+		}
+	}
+	for _, bad := range []string{"a", "a:", "a:0", "a:-5", "a:x"} {
 		if _, err := parseRelations(bad); err == nil {
 			t.Errorf("parseRelations(%q) accepted", bad)
 		}

@@ -52,7 +52,7 @@ func main() {
 	flag.Parse()
 
 	if *technique == "list" {
-		listTechniques()
+		listTechniques(os.Stdout)
 		return
 	}
 	switch *op {
@@ -71,24 +71,25 @@ func main() {
 }
 
 // listTechniques prints the technique registry, the single source every
-// consumer of this repository resolves names from.
-func listTechniques() {
-	fmt.Println("k-NN-Select techniques:")
+// consumer of this repository resolves names from. Names and alias lists
+// arrive sorted from the registry, so the output is deterministic.
+func listTechniques(w io.Writer) {
+	fmt.Fprintln(w, "k-NN-Select techniques:")
 	for _, ti := range knncost.SelectTechniques() {
-		printTechnique(ti)
+		printTechnique(w, ti)
 	}
-	fmt.Println("\nk-NN-Join techniques:")
+	fmt.Fprintln(w, "\nk-NN-Join techniques:")
 	for _, ti := range knncost.JoinTechniques() {
-		printTechnique(ti)
+		printTechnique(w, ti)
 	}
 }
 
-func printTechnique(ti knncost.TechniqueInfo) {
+func printTechnique(w io.Writer, ti knncost.TechniqueInfo) {
 	aliases := ""
 	if len(ti.Aliases) > 0 {
 		aliases = fmt.Sprintf(" (aliases: %s)", strings.Join(ti.Aliases, ", "))
 	}
-	fmt.Printf("  %-14s %s%s\n", ti.Name, ti.Summary, aliases)
+	fmt.Fprintf(w, "  %-14s %s%s\n", ti.Name, ti.Summary, aliases)
 }
 
 // readQueries parses one query per line: "x y" or "x y k". Blank lines and

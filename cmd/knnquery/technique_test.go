@@ -1,0 +1,42 @@
+package main
+
+import (
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	knncost "knncost"
+)
+
+// TestListTechniquesDeterministic pins `knnquery -technique list` output:
+// canonical names sorted within each section, every alias list sorted, and
+// two renders byte-identical — the listing must not depend on registration
+// or map-iteration order.
+func TestListTechniquesDeterministic(t *testing.T) {
+	var a, b strings.Builder
+	listTechniques(&a)
+	listTechniques(&b)
+	if a.String() != b.String() {
+		t.Fatalf("two renders differ:\n%s\n---\n%s", a.String(), b.String())
+	}
+
+	out := a.String()
+	for _, ti := range append(knncost.SelectTechniques(), knncost.JoinTechniques()...) {
+		if !strings.Contains(out, ti.Name) {
+			t.Errorf("listing is missing technique %s", ti.Name)
+		}
+		if !sort.StringsAreSorted(ti.Aliases) {
+			t.Errorf("aliases of %s not sorted: %v", ti.Name, ti.Aliases)
+		}
+	}
+
+	// The printed alias lists match the sorted registry order exactly.
+	aliasRe := regexp.MustCompile(`\(aliases: ([^)]+)\)`)
+	for _, m := range aliasRe.FindAllStringSubmatch(out, -1) {
+		printed := strings.Split(m[1], ", ")
+		if !sort.StringsAreSorted(printed) {
+			t.Errorf("printed alias list not sorted: %v", printed)
+		}
+	}
+}

@@ -119,7 +119,7 @@ func LookupSelect(name string) (SelectTechnique, error) {
 		return SelectTechnique{}, fmt.Errorf("engine: unknown select technique %q (registered: %s)",
 			name, strings.Join(selectNamesLocked(), ", "))
 	}
-	return *reg.selects[canon], nil
+	return copySelectLocked(canon), nil
 }
 
 // LookupJoin resolves a join technique by canonical name or alias.
@@ -131,7 +131,7 @@ func LookupJoin(name string) (JoinTechnique, error) {
 		return JoinTechnique{}, fmt.Errorf("engine: unknown join technique %q (registered: %s)",
 			name, strings.Join(joinNamesLocked(), ", "))
 	}
-	return *reg.joins[canon], nil
+	return copyJoinLocked(canon), nil
 }
 
 // SelectNames returns the sorted canonical names of the registered select
@@ -157,7 +157,7 @@ func SelectTechniques() []SelectTechnique {
 	defer reg.mu.RUnlock()
 	out := make([]SelectTechnique, 0, len(reg.selects))
 	for _, name := range selectNamesLocked() {
-		out = append(out, *reg.selects[name])
+		out = append(out, copySelectLocked(name))
 	}
 	return out
 }
@@ -169,9 +169,28 @@ func JoinTechniques() []JoinTechnique {
 	defer reg.mu.RUnlock()
 	out := make([]JoinTechnique, 0, len(reg.joins))
 	for _, name := range joinNamesLocked() {
-		out = append(out, *reg.joins[name])
+		out = append(out, copyJoinLocked(name))
 	}
 	return out
+}
+
+// copySelectLocked returns a defensive copy of the named technique with its
+// alias list sorted, so every listing surface (HTTP, CLI, error bodies)
+// prints aliases in a deterministic order regardless of registration order,
+// and no caller can mutate the registry's own slice through the copy.
+func copySelectLocked(canon string) SelectTechnique {
+	cp := *reg.selects[canon]
+	cp.Aliases = append([]string(nil), cp.Aliases...)
+	sort.Strings(cp.Aliases)
+	return cp
+}
+
+// copyJoinLocked is copySelectLocked for join techniques.
+func copyJoinLocked(canon string) JoinTechnique {
+	cp := *reg.joins[canon]
+	cp.Aliases = append([]string(nil), cp.Aliases...)
+	sort.Strings(cp.Aliases)
+	return cp
 }
 
 func selectNamesLocked() []string {

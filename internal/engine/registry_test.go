@@ -2,6 +2,7 @@ package engine
 
 import (
 	"reflect"
+	"sort"
 	"strings"
 	"testing"
 
@@ -158,4 +159,52 @@ func TestRegisterContract(t *testing.T) {
 	mustPanic(t, "re-registering test-join", func() {
 		RegisterJoin(JoinTechnique{Name: "test-join", Estimator: noopJoin})
 	})
+}
+
+// TestListingOrderDeterministic pins the ordering contract of every listing
+// surface: canonical names sorted, alias lists sorted (registration order
+// must not leak into wire or CLI output), and the returned alias slices
+// are defensive copies a caller cannot mutate the registry through.
+func TestListingOrderDeterministic(t *testing.T) {
+	noopSelect := func(*Relation) (core.SelectEstimator, error) { return nil, nil }
+	RegisterSelect(SelectTechnique{
+		Name:      "zz-order-probe",
+		Aliases:   []string{"zz-c", "zz-a", "zz-b"}, // deliberately unsorted
+		Estimator: noopSelect,
+	})
+	defer unregisterSelectForTest("zz-order-probe")
+
+	assertSorted := func(what string, names []string) {
+		t.Helper()
+		if !sort.StringsAreSorted(names) {
+			t.Errorf("%s not sorted: %v", what, names)
+		}
+	}
+	for _, tech := range SelectTechniques() {
+		assertSorted("SelectTechniques().Aliases of "+tech.Name, tech.Aliases)
+	}
+	for _, tech := range JoinTechniques() {
+		assertSorted("JoinTechniques().Aliases of "+tech.Name, tech.Aliases)
+	}
+	assertSorted("SelectNames()", SelectNames())
+	assertSorted("JoinNames()", JoinNames())
+
+	probe, err := LookupSelect("zz-order-probe")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"zz-a", "zz-b", "zz-c"}
+	if !reflect.DeepEqual(probe.Aliases, want) {
+		t.Fatalf("LookupSelect aliases = %v, want sorted %v", probe.Aliases, want)
+	}
+
+	// Mutating a returned copy must not bleed into later listings.
+	probe.Aliases[0] = "mutated"
+	again, err := LookupSelect("zz-order-probe")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(again.Aliases, want) {
+		t.Fatalf("registry aliases mutated through a returned copy: %v", again.Aliases)
+	}
 }

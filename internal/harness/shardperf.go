@@ -1,0 +1,217 @@
+package harness
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"testing"
+	"time"
+
+	"knncost/internal/datagen"
+	"knncost/internal/geom"
+	"knncost/internal/service"
+	"knncost/internal/shard"
+	"knncost/internal/store"
+)
+
+// Shard-tier throughput measurement: the same serial 4096-query batch is
+// pushed through routed topologies of increasing shard count. The batch is
+// sent with Parallelism 1, so a single node answers it sequentially and
+// the router's only lever is scattering contiguous chunks across shards.
+//
+// Each shard charges a simulated per-query block-I/O stall (the quantity
+// the paper's estimators predict — Count-Index block reads of a
+// disk-resident deployment). The stall is what makes the measurement
+// meaningful on any host: the in-memory CPU work is pinned to however
+// many cores the machine has (a single-core box can never shrink it by
+// adding in-process shards), whereas the I/O stalls overlap across
+// shards, so routed batch latency dropping with shard count is a direct
+// measurement of scatter-gather hiding per-shard latency.
+
+const (
+	shardPerfQueries = 4096
+	shardPerfPoints  = 20_000
+	// shardPerfIOStall is the simulated block-read budget charged per
+	// batched query on the shard that serves it.
+	shardPerfIOStall = 20 * time.Microsecond
+)
+
+// RunShardPerf measures routed batch-estimate latency for each topology
+// size in shardCounts (1 means router over a single shard) and returns one
+// PerfResult per size, named router_batch4096_density_<n>shards.
+func RunShardPerf(seed int64, shardCounts []int) ([]PerfResult, error) {
+	pts := datagen.OSMLike(shardPerfPoints, seed)
+	body, err := shardPerfBody(pts)
+	if err != nil {
+		return nil, err
+	}
+	results := make([]PerfResult, 0, len(shardCounts))
+	for _, n := range shardCounts {
+		if n < 1 {
+			return nil, fmt.Errorf("harness: shard count %d", n)
+		}
+		r, err := runShardPerfOne(n, pts, body)
+		if err != nil {
+			return nil, fmt.Errorf("harness: %d-shard perf: %w", n, err)
+		}
+		results = append(results, r)
+	}
+	return results, nil
+}
+
+// simulatedIO charges the per-query block-read stall on batch-estimate
+// requests: a chunk of q queries sleeps q x shardPerfIOStall before the
+// service answers it, the way a disk-resident Count-Index would stall for
+// every query's block walk. Chunks on different shards stall concurrently,
+// which is the effect the topology sweep measures.
+func simulatedIO(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodPost && r.URL.Path == "/estimate/select/batch" {
+			body, err := io.ReadAll(r.Body)
+			r.Body.Close()
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			var req service.BatchSelectRequest
+			if json.Unmarshal(body, &req) == nil {
+				time.Sleep(time.Duration(len(req.Queries)) * shardPerfIOStall)
+			}
+			r.Body = io.NopCloser(bytes.NewReader(body))
+			r.ContentLength = int64(len(body))
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// shardPerfBody builds the fixed batch request: a deterministic stride over
+// the data points with ks across the catalog range.
+func shardPerfBody(pts []geom.Point) ([]byte, error) {
+	req := service.BatchSelectRequest{
+		Relation:    "bench",
+		Technique:   "density",
+		Parallelism: 1,
+	}
+	for i := 0; i < shardPerfQueries; i++ {
+		p := pts[(i*7919)%len(pts)]
+		req.Queries = append(req.Queries, service.BatchSelectQuery{X: p.X, Y: p.Y, K: 1 + i%200})
+	}
+	return json.Marshal(req)
+}
+
+func runShardPerfOne(n int, pts []geom.Point, body []byte) (PerfResult, error) {
+	cleanups := []func(){}
+	defer func() {
+		for i := len(cleanups) - 1; i >= 0; i-- {
+			cleanups[i]()
+		}
+	}()
+
+	shards := make([]shard.Shard, 0, n)
+	for i := 0; i < n; i++ {
+		st, err := store.New(store.Options{
+			MaxK: 200, SampleSize: 100, GridSize: 10, IndexCapacity: 256,
+			Bounds: datagen.WorldBounds,
+		})
+		if err != nil {
+			return PerfResult{}, err
+		}
+		cleanups = append(cleanups, func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			st.Close(ctx)
+		})
+		if _, err := st.Register("bench", pts); err != nil {
+			return PerfResult{}, err
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+		err = st.WaitReady(ctx, "bench")
+		cancel()
+		if err != nil {
+			return PerfResult{}, err
+		}
+		srv := httptest.NewServer(simulatedIO(service.NewWithStore(st, service.Options{
+			MaxK: 200, SampleSize: 100, GridSize: 10,
+		})))
+		cleanups = append(cleanups, srv.Close)
+		shards = append(shards, shard.Shard{ID: fmt.Sprintf("perf-%d", i), BaseURL: srv.URL})
+	}
+
+	// Every shard owns the relation (Replicas = n), so the batch scatters
+	// across all of them; hedging stays off to measure pure scatter-gather.
+	rt, err := shard.New(shards, shard.Options{Replicas: n})
+	if err != nil {
+		return PerfResult{}, err
+	}
+	front := httptest.NewServer(rt)
+	cleanups = append(cleanups, front.Close)
+
+	var benchErr error
+	r := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			resp, err := http.Post(front.URL+"/estimate/select/batch", "application/json", bytes.NewReader(body))
+			if err != nil {
+				benchErr = err
+				b.FailNow()
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				benchErr = fmt.Errorf("batch status %d", resp.StatusCode)
+				b.FailNow()
+			}
+		}
+	})
+	if benchErr != nil {
+		return PerfResult{}, benchErr
+	}
+	return PerfResult{
+		Op:          fmt.Sprintf("router_batch%d_density_%dshards", shardPerfQueries, n),
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		Iterations:  r.N,
+	}, nil
+}
+
+// LoadPerfJSON reads a BENCH_<date>.json file written by WritePerfJSON.
+func LoadPerfJSON(path string) ([]PerfResult, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var results []PerfResult
+	if err := json.Unmarshal(data, &results); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	return results, nil
+}
+
+// ComparePerf gates cur against base: every baseline op must still be
+// measured, and none may be slower than base*tol (tol 1.20 = a 20% ns/op
+// regression budget; micro-benchmark noise sits well under that). Ops new
+// in cur pass freely — the trajectory only ratchets what it has seen.
+func ComparePerf(cur, base []PerfResult, tol float64) []string {
+	byOp := make(map[string]PerfResult, len(cur))
+	for _, r := range cur {
+		byOp[r.Op] = r
+	}
+	var failures []string
+	for _, b := range base {
+		c, ok := byOp[b.Op]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: measured in baseline but not in this run", b.Op))
+			continue
+		}
+		if limit := b.NsPerOp * tol; c.NsPerOp > limit {
+			failures = append(failures, fmt.Sprintf("%s: %.1f ns/op exceeds %.1f (baseline %.1f x tol %.2f)",
+				b.Op, c.NsPerOp, limit, b.NsPerOp, tol))
+		}
+	}
+	return failures
+}

@@ -171,6 +171,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /relations", s.handleRelations)
 	s.mux.HandleFunc("POST /relations", s.handleRegisterRelation)
 	s.mux.HandleFunc("GET /relations/{name}/status", s.handleRelationStatus)
+	s.mux.HandleFunc("GET /relations/{name}/points", s.handleRelationPoints)
 	s.mux.HandleFunc("GET /techniques", s.handleTechniques)
 	s.mux.HandleFunc("DELETE /relations/{name}", s.handleDropRelation)
 	s.mux.HandleFunc("GET /estimate/select", s.handleEstimateSelect)
@@ -276,6 +277,35 @@ func (s *Server) handleRelationStatus(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, infoFromStatus(st))
+}
+
+// handleRelationPoints serves a relation's source points, shaped exactly
+// like a RegisterRequest body: POSTing the response to another server's
+// /relations re-registers the identical relation — same points in the same
+// order, hence the same fingerprint, the same index, and bit-identical
+// catalogs. This is the hand-off primitive the shard router's rebalance
+// warm-restores are built on. Index-registered relations have no
+// reproducible point source and answer 404.
+func (s *Server) handleRelationPoints(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	snap := s.store.View().Relation(name)
+	if snap == nil {
+		if st, known := s.store.Status(name); known {
+			notReady(w, st)
+			return
+		}
+		notFound(w, "unknown relation %q", name)
+		return
+	}
+	if snap.Points == nil {
+		notFound(w, "relation %q has no reproducible point source", name)
+		return
+	}
+	resp := RegisterRequest{Name: name, Points: make([][2]float64, len(snap.Points))}
+	for i, p := range snap.Points {
+		resp.Points[i] = [2]float64{p.X, p.Y}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // TechniqueInfo describes one registered estimation technique in the

@@ -3,6 +3,7 @@ package service
 import (
 	"fmt"
 	"net/http"
+	"sort"
 	"strings"
 	"testing"
 
@@ -185,5 +186,54 @@ func TestSelectRejectsNegativeK(t *testing.T) {
 				t.Errorf("%s k=%d: status %d, want 400", name, k, code)
 			}
 		}
+	}
+}
+
+// TestTechniqueListingsSorted pins deterministic ordering on the wire:
+// GET /techniques lists canonical names and per-technique aliases in sorted
+// order, and the ?technique= 400 body enumerates the registered names
+// sorted — registration order must never leak into any listing surface.
+func TestTechniqueListingsSorted(t *testing.T) {
+	srv := testServer(t)
+	var out TechniquesResponse
+	if code := getJSON(t, srv.URL+"/techniques", &out); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	checkSorted := func(what string, names []string) {
+		t.Helper()
+		if !sort.StringsAreSorted(names) {
+			t.Errorf("%s not sorted: %v", what, names)
+		}
+	}
+	var selNames, joinNames []string
+	for _, ti := range out.Select {
+		selNames = append(selNames, ti.Name)
+		checkSorted("aliases of select technique "+ti.Name, ti.Aliases)
+	}
+	for _, ti := range out.Join {
+		joinNames = append(joinNames, ti.Name)
+		checkSorted("aliases of join technique "+ti.Name, ti.Aliases)
+	}
+	checkSorted("select technique names", selNames)
+	checkSorted("join technique names", joinNames)
+
+	var errOut struct {
+		Error string `json:"error"`
+	}
+	code := getJSON(t, srv.URL+"/estimate/select?rel=hotels&x=10&y=45&k=20&technique=magic", &errOut)
+	if code != http.StatusBadRequest {
+		t.Fatalf("unknown technique: status %d", code)
+	}
+	wantList := strings.Join(engine.SelectNames(), ", ")
+	if !strings.Contains(errOut.Error, wantList) {
+		t.Errorf("unknown-technique 400 body %q does not list names in sorted order %q", errOut.Error, wantList)
+	}
+	code = getJSON(t, srv.URL+"/estimate/join?outer=hotels&inner=restaurants&k=15&technique=magic", &errOut)
+	if code != http.StatusBadRequest {
+		t.Fatalf("unknown join technique: status %d", code)
+	}
+	wantList = strings.Join(engine.JoinNames(), ", ")
+	if !strings.Contains(errOut.Error, wantList) {
+		t.Errorf("unknown-join-technique 400 body %q does not list names in sorted order %q", errOut.Error, wantList)
 	}
 }

@@ -1,0 +1,60 @@
+package shard
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// latencyWindow is the number of recent observations a tracker keeps. Small
+// enough that a percentile is a copy-and-sort of a few hundred bytes, large
+// enough to smooth one-off hiccups.
+const latencyWindow = 64
+
+// tracker records the recent request latencies of one replica so the router
+// can (a) order replicas fastest-first and (b) derive the hedge delay from
+// an observed percentile instead of a guess. All methods are safe for
+// concurrent use.
+type tracker struct {
+	mu   sync.Mutex
+	ring [latencyWindow]time.Duration
+	n    int // observations recorded, up to latencyWindow
+	next int // ring write position
+}
+
+// observe records one request latency.
+func (t *tracker) observe(d time.Duration) {
+	t.mu.Lock()
+	t.ring[t.next] = d
+	t.next = (t.next + 1) % latencyWindow
+	if t.n < latencyWindow {
+		t.n++
+	}
+	t.mu.Unlock()
+}
+
+// percentile returns the p-th percentile (0 < p <= 1) of the recorded
+// window, or 0 when nothing has been observed yet.
+func (t *tracker) percentile(p float64) time.Duration {
+	t.mu.Lock()
+	n := t.n
+	buf := make([]time.Duration, n)
+	copy(buf, t.ring[:n])
+	t.mu.Unlock()
+	if n == 0 {
+		return 0
+	}
+	sort.Slice(buf, func(i, j int) bool { return buf[i] < buf[j] })
+	i := int(p*float64(n)) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= n {
+		i = n - 1
+	}
+	return buf[i]
+}
+
+// median is the tie-breaking speed score used to order replicas
+// fastest-first.
+func (t *tracker) median() time.Duration { return t.percentile(0.5) }

@@ -1,0 +1,201 @@
+package shard
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func relNames(n int) []string {
+	names := make([]string, n)
+	for i := range names {
+		names[i] = fmt.Sprintf("rel-%04d", i)
+	}
+	return names
+}
+
+func shardIDs(n int) []string {
+	ids := make([]string, n)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("shard-%c", 'a'+i)
+	}
+	return ids
+}
+
+func TestRingValidation(t *testing.T) {
+	if _, err := NewRing(nil, 0); err == nil {
+		t.Error("NewRing(nil) did not fail")
+	}
+	if _, err := NewRing([]string{"a", ""}, 0); err == nil {
+		t.Error("NewRing with empty ID did not fail")
+	}
+	if _, err := NewRing([]string{"a", "b", "a"}, 0); err == nil {
+		t.Error("NewRing with duplicate ID did not fail")
+	}
+}
+
+// TestRingDeterministic pins the restart-stability property: a ring is a
+// pure function of its shard IDs, so a freshly constructed ring — in a new
+// process, from a differently ordered ID list — routes every relation to
+// the same shard.
+func TestRingDeterministic(t *testing.T) {
+	ids := shardIDs(5)
+	r1, err := NewRing(ids, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shuffled := append([]string(nil), ids...)
+	rand.New(rand.NewSource(7)).Shuffle(len(shuffled), func(i, j int) {
+		shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+	})
+	r2, err := NewRing(shuffled, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rel := range relNames(2000) {
+		if r1.Owner(rel) != r2.Owner(rel) {
+			t.Fatalf("owner of %q differs across identically configured rings: %q vs %q",
+				rel, r1.Owner(rel), r2.Owner(rel))
+		}
+		o1, o2 := r1.Owners(rel, 2), r2.Owners(rel, 2)
+		if len(o1) != len(o2) || o1[0] != o2[0] || o1[1] != o2[1] {
+			t.Fatalf("owner set of %q differs: %v vs %v", rel, o1, o2)
+		}
+	}
+}
+
+// TestRingGolden pins concrete placements so an accidental change to the
+// hash or vnode naming scheme — which would silently remap every deployed
+// topology — fails loudly.
+func TestRingGolden(t *testing.T) {
+	r, err := NewRing([]string{"shard-a", "shard-b", "shard-c"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]string{
+		"hotels":      "shard-b",
+		"restaurants": "shard-c",
+		"bars":        "shard-a",
+		"parks":       "shard-a",
+	}
+	for rel, owner := range want {
+		if got := r.Owner(rel); got != owner {
+			t.Errorf("Owner(%q) = %q, want %q (hash scheme changed?)", rel, got, owner)
+		}
+	}
+}
+
+// TestRingStability is the consistent-hashing contract: growing or
+// shrinking a topology by one shard remaps roughly 1/N of the relations
+// and leaves every other placement untouched.
+func TestRingStability(t *testing.T) {
+	const rels = 4000
+	for _, n := range []int{2, 3, 4, 8, 16} {
+		t.Run(fmt.Sprintf("grow-%d-to-%d", n, n+1), func(t *testing.T) {
+			before, err := NewRing(shardIDs(n), 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			after, err := NewRing(shardIDs(n+1), 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			added := shardIDs(n + 1)[n]
+			moved := 0
+			for _, rel := range relNames(rels) {
+				ob, oa := before.Owner(rel), after.Owner(rel)
+				if ob != oa {
+					moved++
+					// Consistent hashing moves keys only onto the added
+					// shard, never between surviving shards.
+					if oa != added {
+						t.Fatalf("relation %q moved %q → %q, not onto the added shard %q",
+							rel, ob, oa, added)
+					}
+				}
+			}
+			// The added shard's fair share is 1/(n+1); allow generous
+			// sampling slack (2x) but fail on wholesale remapping.
+			maxMoved := 2 * rels / (n + 1)
+			if moved == 0 || moved > maxMoved {
+				t.Errorf("adding 1 of %d shards remapped %d/%d relations (want 1..%d)",
+					n, moved, rels, maxMoved)
+			}
+		})
+		t.Run(fmt.Sprintf("shrink-%d-to-%d", n+1, n), func(t *testing.T) {
+			before, err := NewRing(shardIDs(n+1), 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			after, err := NewRing(shardIDs(n), 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			removed := shardIDs(n + 1)[n]
+			moved := 0
+			for _, rel := range relNames(rels) {
+				ob, oa := before.Owner(rel), after.Owner(rel)
+				if ob != oa {
+					moved++
+					// Only relations of the removed shard may move.
+					if ob != removed {
+						t.Fatalf("relation %q moved off surviving shard %q (to %q)", rel, ob, oa)
+					}
+				}
+			}
+			maxMoved := 2 * rels / (n + 1)
+			if moved == 0 || moved > maxMoved {
+				t.Errorf("removing 1 of %d shards remapped %d/%d relations (want 1..%d)",
+					n+1, moved, rels, maxMoved)
+			}
+		})
+	}
+}
+
+// TestRingBalance checks that virtual nodes spread relations evenly: no
+// shard's share strays far from 1/N.
+func TestRingBalance(t *testing.T) {
+	const rels = 8000
+	for _, n := range []int{3, 5, 8} {
+		r, err := NewRing(shardIDs(n), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts := map[string]int{}
+		for _, rel := range relNames(rels) {
+			counts[r.Owner(rel)]++
+		}
+		fair := rels / n
+		for id, c := range counts {
+			if c < fair/2 || c > 2*fair {
+				t.Errorf("n=%d: shard %s owns %d of %d relations (fair share %d)", n, id, c, rels, fair)
+			}
+		}
+	}
+}
+
+func TestRingOwners(t *testing.T) {
+	r, err := NewRing(shardIDs(3), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rel := range relNames(100) {
+		owners := r.Owners(rel, 2)
+		if len(owners) != 2 {
+			t.Fatalf("Owners(%q, 2) = %v", rel, owners)
+		}
+		if owners[0] == owners[1] {
+			t.Fatalf("Owners(%q, 2) repeated shard %q", rel, owners[0])
+		}
+		if owners[0] != r.Owner(rel) {
+			t.Fatalf("Owners(%q, 2)[0] = %q but Owner = %q", rel, owners[0], r.Owner(rel))
+		}
+		// n beyond the shard count clamps; n < 1 still returns the primary.
+		if got := r.Owners(rel, 99); len(got) != 3 {
+			t.Fatalf("Owners(%q, 99) = %v, want all 3 shards", rel, got)
+		}
+		if got := r.Owners(rel, 0); len(got) != 1 || got[0] != r.Owner(rel) {
+			t.Fatalf("Owners(%q, 0) = %v, want just the primary", rel, got)
+		}
+	}
+}

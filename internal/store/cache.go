@@ -77,17 +77,34 @@ type registryFile struct {
 // content-addressed and idempotent, so concurrent workers writing the same
 // fingerprint converge on identical bytes.
 type diskCache struct {
-	dir string
-	mu  sync.Mutex // guards registry.json read-modify-write
+	dir          string
+	registryName string
+	mu           sync.Mutex // guards registry read-modify-write
 }
 
-func openDiskCache(dir string) (*diskCache, error) {
+// openDiskCache opens (creating if needed) the cache at dir. scope selects
+// the registry file: several stores can share one content-addressed cache —
+// that sharing is what turns a shard handoff into a warm restore — but each
+// must restore only its own relations, so each scope gets its own registry.
+func openDiskCache(dir, scope string) (*diskCache, error) {
 	for _, sub := range []string{"cat", "merge"} {
 		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
 			return nil, err
 		}
 	}
-	return &diskCache{dir: dir}, nil
+	name := "registry.json"
+	if scope != "" {
+		for _, r := range scope {
+			switch {
+			case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+				r == '_', r == '-', r == '.':
+			default:
+				return nil, fmt.Errorf("registry scope %q contains %q (allowed: letters, digits, '_', '-', '.')", scope, r)
+			}
+		}
+		name = "registry-" + scope + ".json"
+	}
+	return &diskCache{dir: dir, registryName: name}, nil
 }
 
 // fingerprint hashes the point data together with every build parameter
@@ -294,7 +311,7 @@ func (c *diskCache) loadPoints(fp string) ([]geom.Point, error) {
 
 // --- registry --------------------------------------------------------------
 
-func (c *diskCache) registryPath() string { return filepath.Join(c.dir, "registry.json") }
+func (c *diskCache) registryPath() string { return filepath.Join(c.dir, c.registryName) }
 
 // registry returns the recorded live relations, sorted by name. A missing
 // or corrupt registry is an empty one.

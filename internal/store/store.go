@@ -106,6 +106,13 @@ type Options struct {
 	QueueLen int
 	// CacheDir enables the warm-restart disk cache. Empty disables it.
 	CacheDir string
+	// RegistryScope names this store's slice of a shared cache directory.
+	// Catalog artifacts are content-addressed and safely shared between
+	// stores (that sharing is what makes a shard handoff a warm restore),
+	// but the registry of live relations is per store: scope "a" restores
+	// only what scope "a" registered. Empty means the unscoped
+	// registry.json.
+	RegistryScope string
 	// Logger receives cache warnings and build logs. Nil means the standard
 	// logger.
 	Logger *log.Logger
@@ -152,6 +159,12 @@ type Snapshot struct {
 	// Fingerprint identifies the point data + build options; empty for
 	// relations registered from a pre-built index (not cacheable).
 	Fingerprint string
+	// Points are the relation's points in registration order — the exact
+	// input that produced this snapshot, served by the points endpoint so a
+	// peer shard can re-register them and arrive at a bit-identical build
+	// (same fingerprint, same tree, same catalogs). Nil for index-registered
+	// relations, which have no reproducible point source.
+	Points []geom.Point
 	// Tree is the data index (points included).
 	Tree *index.Tree
 	// Count is the Count-Index derived from Tree.
@@ -293,7 +306,7 @@ func New(opt Options) (*Store, error) {
 	s.view.Store(emptyView)
 	s.ctx, s.cancel = context.WithCancel(context.Background())
 	if opt.CacheDir != "" {
-		c, err := openDiskCache(opt.CacheDir)
+		c, err := openDiskCache(opt.CacheDir, opt.RegistryScope)
 		if err != nil {
 			return nil, fmt.Errorf("store: opening cache: %w", err)
 		}
@@ -596,7 +609,8 @@ type builtRelation struct {
 	staircase *core.Staircase
 	density   *core.DensityBased
 	vgrid     *core.VirtualGrid
-	fp        string // empty when not cacheable
+	pts       []geom.Point // registration-order source points; nil for index builds
+	fp        string       // empty when not cacheable
 	fromCache bool
 }
 
@@ -605,6 +619,7 @@ type builtRelation struct {
 func (s *Store) buildCatalogs(ctx context.Context, name string, pts []geom.Point, tree *index.Tree) (*builtRelation, error) {
 	b := &builtRelation{tree: tree}
 	if tree == nil {
+		b.pts = pts
 		bounds := s.opt.Bounds
 		if !bounds.Valid() || bounds.Width() <= 0 || bounds.Height() <= 0 {
 			bounds = boundsOf(pts)
@@ -726,6 +741,7 @@ func (s *Store) publishLocked(e *entry, b *builtRelation) {
 		Name:           e.name,
 		Version:        version,
 		Fingerprint:    b.fp,
+		Points:         b.pts,
 		Tree:           b.tree,
 		Count:          b.count,
 		Staircase:      b.staircase,

@@ -11,11 +11,16 @@ cd "$(dirname "$0")/.."
 go vet ./...
 sh scripts/lint.sh
 go test ./...
-go test -race ./internal/core/... ./internal/engine/... ./internal/store/... ./internal/service/... ./internal/faultinject/... ./internal/oracle/... ./cmd/knncostd/...
+go test -race ./internal/core/... ./internal/engine/... ./internal/store/... ./internal/service/... ./internal/faultinject/... ./internal/oracle/... ./internal/shard/... ./cmd/knncostd/...
 go test -run xxx -bench 'BenchmarkEstimateSelectHot|BenchmarkStaircaseBuildAlloc|BenchmarkFig13SelectPreprocessCC' -benchtime 1x .
 
-# Coverage floor: per-package statement coverage, internal/engine >= 85%.
+# Coverage floors: per-package statement coverage, internal/engine >= 85%,
+# internal/shard >= 78%.
 sh scripts/cover.sh
+
+# Sharded-tier smoke: three shard daemons + router, a routed registration,
+# and a rebalance that must heal via a zero-build warm restore.
+sh scripts/soak.sh shard
 
 # Estimator-accuracy gate: exact invariants must hold and q-error quantiles
 # must stay within 10% of the checked-in golden baseline.

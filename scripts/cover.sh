@@ -1,13 +1,11 @@
 #!/bin/sh
-# Coverage gate: print per-package statement coverage and fail when
-# internal/engine — the technique registry and relation engine every layer
-# rests on — drops below the floor.
+# Coverage gate: print per-package statement coverage and fail when a
+# floored package drops below its floor — internal/engine (the technique
+# registry and relation engine every layer rests on) and internal/shard
+# (the scatter-gather routing tier).
 set -eu
 
 cd "$(dirname "$0")/.."
-
-ENGINE_PKG=knncost/internal/engine
-ENGINE_FLOOR=85.0
 
 out=$(go test -count=1 -cover ./...) || {
 	echo "$out"
@@ -16,25 +14,31 @@ out=$(go test -count=1 -cover ./...) || {
 }
 echo "$out"
 
-engine_cov=$(echo "$out" | awk -v pkg="$ENGINE_PKG" '
-	$1 == "ok" && $2 == pkg {
-		for (i = 3; i <= NF; i++) if ($i == "coverage:") {
-			cov = $(i + 1)
-			sub(/%/, "", cov)
-			print cov
-		}
-	}')
+# check_floor <pkg> <floor>
+check_floor() {
+	pkg=$1
+	floor=$2
+	cov=$(echo "$out" | awk -v pkg="$pkg" '
+		$1 == "ok" && $2 == pkg {
+			for (i = 3; i <= NF; i++) if ($i == "coverage:") {
+				cov = $(i + 1)
+				sub(/%/, "", cov)
+				print cov
+			}
+		}')
+	if [ -z "$cov" ]; then
+		echo "cover: no coverage reported for $pkg" >&2
+		exit 1
+	fi
+	echo "$cov" | awk -v floor="$floor" -v pkg="$pkg" '
+		{
+			if ($1 + 0 < floor + 0) {
+				printf "cover: FAIL: %s at %.1f%%, floor %.1f%%\n", pkg, $1, floor
+				exit 1
+			}
+			printf "cover: PASS: %s at %.1f%% (floor %.1f%%)\n", pkg, $1, floor
+		}'
+}
 
-if [ -z "$engine_cov" ]; then
-	echo "cover: no coverage reported for $ENGINE_PKG" >&2
-	exit 1
-fi
-
-echo "$engine_cov" | awk -v floor="$ENGINE_FLOOR" -v pkg="$ENGINE_PKG" '
-	{
-		if ($1 + 0 < floor + 0) {
-			printf "cover: FAIL: %s at %.1f%%, floor %.1f%%\n", pkg, $1, floor
-			exit 1
-		}
-		printf "cover: PASS: %s at %.1f%% (floor %.1f%%)\n", pkg, $1, floor
-	}'
+check_floor knncost/internal/engine 85.0
+check_floor knncost/internal/shard 78.0

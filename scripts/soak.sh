@@ -9,9 +9,23 @@
 # register a relation at runtime, stop, restart over the same cache, and
 # assert the daemon reaches ready with zero catalog builds (via the
 # knncost_catalog_builds expvar) while serving the same estimate.
+#
+# A third phase smokes the sharded tier: three shard daemons plus a router,
+# a relation registered through the router, then a rebalance (router
+# restarted over a four-shard peer list) that must heal via a warm restore —
+# the new owner serves the relation bit-exact with zero catalog builds.
+#
+# Usage: soak.sh [all|shard]  — `shard` runs only the third phase (the
+# smoke tier of scripts/check.sh uses this).
 set -eu
 
 cd "$(dirname "$0")/.."
+
+PHASE="${1:-all}"
+case "$PHASE" in
+  all|shard) ;;
+  *) echo "soak: unknown phase $PHASE (want all or shard)"; exit 2 ;;
+esac
 
 DRAIN=10
 TMPDIR="${TMPDIR:-/tmp}"
@@ -19,9 +33,12 @@ BIN="$TMPDIR/knncostd-soak-$$"
 LOG="$TMPDIR/knncostd-soak-$$.log"
 OUT="$TMPDIR/knncostd-soak-$$.out"
 CACHE="$TMPDIR/knncostd-soak-$$.cache"
-trap 'rm -rf "$BIN" "$LOG" "$OUT" "$CACHE"' EXIT
+SCACHE="$TMPDIR/knncostd-soak-$$.shardcache"
+trap 'rm -rf "$BIN" "$LOG" "$LOG".* "$OUT" "$OUT".* "$CACHE" "$SCACHE"; kill $(jobs -p) 2>/dev/null || true' EXIT
 
 go build -o "$BIN" ./cmd/knncostd
+
+if [ "$PHASE" = all ]; then
 
 "$BIN" -addr 127.0.0.1:0 \
   -relations hotels:3000,restaurants:5000 \
@@ -145,3 +162,115 @@ if [ "$WARM_EST" != "$COLD_EST" ]; then
   echo "soak: warm estimate $WARM_EST != cold $COLD_EST"; exit 1
 fi
 echo "soak: warm restart OK (builds=0, estimate identical: $WARM_EST)"
+
+fi # PHASE = all
+
+# --- sharded scatter-gather smoke --------------------------------------------
+
+# Three shard daemons over one shared artifact cache, a router in front,
+# then a rebalance: the router restarts over a peer list that adds a fresh
+# fourth shard. Relation "geo" is chosen because the consistent-hash ring
+# makes s4 its new primary (owners move [s1 s2] -> [s4 s1]), so a fresh
+# router must hit s4 first, see unknown-relation, and heal by mirroring —
+# and the shared cache makes that mirror a warm restore (zero builds on s4).
+
+# start_shard <id>: boot a shard-mode daemon over the shared cache; sets
+# ADDR_<id> and PID_<id>.
+start_shard() {
+  : >"$OUT.$1"
+  "$BIN" -addr 127.0.0.1:0 -shard-id "$1" -relations none \
+    -capacity 128 -maxk 100 -sample 50 -grid 6 \
+    -cache-dir "$SCACHE" -drain-timeout "${DRAIN}s" -access-log=false \
+    >"$OUT.$1" 2>"$LOG.$1" &
+  eval "PID_$1=$!"
+  A=
+  for i in $(seq 1 100); do
+    A=$(sed -n 's/^knncostd listening on //p' "$OUT.$1" | head -n1)
+    [ -n "$A" ] && break
+    sleep 0.1
+  done
+  [ -n "$A" ] || { echo "soak: shard $1 never printed its address"; exit 1; }
+  eval "ADDR_$1=$A"
+  echo "soak: shard $1 at $A"
+}
+
+# start_router <peers>: boot the router over the given peer list; sets
+# RBASE and RPID.
+start_router() {
+  : >"$OUT.r"
+  "$BIN" -router -addr 127.0.0.1:0 -peers "$1" -replicas 2 \
+    -drain-timeout "${DRAIN}s" -access-log=false \
+    >"$OUT.r" 2>"$LOG.r" &
+  RPID=$!
+  RADDR=
+  for i in $(seq 1 100); do
+    RADDR=$(sed -n 's/^knncostd router listening on //p' "$OUT.r" | head -n1)
+    [ -n "$RADDR" ] && break
+    sleep 0.1
+  done
+  [ -n "$RADDR" ] || { echo "soak: router never printed its address"; cat "$LOG.r"; exit 1; }
+  RBASE="http://$RADDR"
+  for i in $(seq 1 300); do
+    if curl -fsS "$RBASE/readyz" >/dev/null 2>&1; then
+      echo "soak: router at $RADDR (peers $1)"; return 0
+    fi
+    sleep 0.1
+  done
+  echo "soak: router never became ready"; cat "$LOG.r"; exit 1
+}
+
+start_shard s1
+start_shard s2
+start_shard s3
+start_router "s1=http://$ADDR_s1,s2=http://$ADDR_s2,s3=http://$ADDR_s3"
+
+# Register "geo" through the router: a deterministic 400-point spiral, big
+# enough that every estimation technique has blocks to count.
+GEO_POINTS=$(awk 'BEGIN{
+  printf "[";
+  for (i = 0; i < 400; i++) {
+    a = i * 0.37; r = 1 + i * 0.11;
+    printf "%s[%.6f,%.6f]", (i ? "," : ""), r * cos(a), r * sin(a) / 2;
+  }
+  printf "]";
+}')
+curl -fsS -X POST -H 'Content-Type: application/json' \
+  -d "{\"name\":\"geo\",\"points\":$GEO_POINTS}" \
+  "$RBASE/relations" >/dev/null || { echo "soak: routed registration failed"; exit 1; }
+for i in $(seq 1 300); do
+  if curl -fsS "$RBASE/relations/geo/status" 2>/dev/null | grep -q '"state":"ready"'; then break; fi
+  sleep 0.1
+done
+SPROBE="/estimate/select?rel=geo&x=3&y=1&k=25"
+EST1=$(curl -fsS "$RBASE$SPROBE" | sed -n 's/.*"blocks":\([0-9.e+-]*\).*/\1/p')
+[ -n "$EST1" ] || { echo "soak: routed estimate malformed"; exit 1; }
+echo "soak: routed estimate blocks=$EST1"
+
+# Rebalance: bring up a fresh shard and restart the router over the
+# four-shard peer list. The first routed estimate after the restart lands
+# on s4 (the new ring primary for geo), which must self-heal via a warm
+# restore from the shared cache.
+kill -TERM "$RPID"; wait "$RPID" || { echo "soak: router exited dirty on rebalance"; exit 1; }
+start_shard s4
+start_router "s1=http://$ADDR_s1,s2=http://$ADDR_s2,s3=http://$ADDR_s3,s4=http://$ADDR_s4"
+
+EST2=$(curl -fsS "$RBASE$SPROBE" | sed -n 's/.*"blocks":\([0-9.e+-]*\).*/\1/p')
+if [ "$EST2" != "$EST1" ]; then
+  echo "soak: post-rebalance estimate $EST2 != pre-rebalance $EST1"; exit 1
+fi
+
+RESTORES=$(curl -fsS "$RBASE/debug/vars" | sed -n 's/.*"knnrouter_rebalance_restores": *\([0-9][0-9]*\).*/\1/p')
+[ "${RESTORES:-0}" -gt 0 ] || { echo "soak: no rebalance warm restore counted (restores=${RESTORES:-unset})"; exit 1; }
+S4_BUILDS=$(curl -fsS "http://$ADDR_s4/debug/vars" | sed -n 's/.*"knncost_catalog_builds": *\([0-9][0-9]*\).*/\1/p')
+if [ "$S4_BUILDS" != "0" ]; then
+  echo "soak: rebalance restore built $S4_BUILDS catalogs on s4, want 0 (warm restore)"; exit 1
+fi
+echo "soak: rebalance OK (restores=$RESTORES, s4 builds=0, estimate identical: $EST2)"
+
+# Drain everything cleanly.
+kill -TERM "$RPID"; wait "$RPID" || { echo "soak: router exited dirty"; exit 1; }
+for id in s1 s2 s3 s4; do
+  eval "P=\$PID_$id"
+  kill -TERM "$P"; wait "$P" || { echo "soak: shard $id exited dirty"; cat "$LOG.$id"; exit 1; }
+done
+echo "soak: sharded tier OK"
