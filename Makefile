@@ -24,13 +24,14 @@ cover:
 
 # Race-test the packages with concurrent hot paths: the staircase build
 # fan-out, the batch estimation workers, the engine's once-per-artifact
-# builds, the relation store's build pool and hot-swap publication, the HTTP
-# batch endpoint, the robustness middleware, the fault-injection harness,
-# the daemon's signal-driven drain, the oracle differential suite
-# (which runs batches against live hot-swaps), and the shard tier's
-# scatter-gather, hedging, and mirror-on-demand machinery.
+# builds, the WAL's group-commit fsync batching, the relation store's build
+# pool, delta overlays, and hot-swap publication, the HTTP batch endpoint,
+# the robustness middleware, the fault-injection harness, the daemon's
+# signal-driven drain, the oracle differential suite (which runs batches
+# against live hot-swaps), and the shard tier's scatter-gather, hedging,
+# breaker, and mirror-on-demand machinery.
 race:
-	$(GO) test -race ./internal/core/... ./internal/engine/... ./internal/store/... ./internal/service/... ./internal/faultinject/... ./internal/oracle/... ./internal/shard/... ./cmd/knncostd/...
+	$(GO) test -race ./internal/core/... ./internal/engine/... ./internal/wal/... ./internal/store/... ./internal/service/... ./internal/faultinject/... ./internal/oracle/... ./internal/shard/... ./cmd/knncostd/...
 
 # One iteration of every benchmark: catches benchmarks that panic or
 # regress to building their fixture per op, without the full measurement
@@ -42,10 +43,11 @@ bench-smoke:
 check: vet
 	$(MAKE) lint
 	$(GO) test ./...
-	$(GO) test -race ./internal/core/... ./internal/engine/... ./internal/store/... ./internal/service/... ./internal/faultinject/... ./internal/oracle/... ./internal/shard/... ./cmd/knncostd/...
+	$(GO) test -race ./internal/core/... ./internal/engine/... ./internal/wal/... ./internal/store/... ./internal/service/... ./internal/faultinject/... ./internal/oracle/... ./internal/shard/... ./cmd/knncostd/...
 	$(GO) test -run xxx -bench 'BenchmarkEstimateSelectHot|BenchmarkStaircaseBuildAlloc|BenchmarkFig13SelectPreprocessCC' -benchtime 1x .
 	$(MAKE) cover
 	sh scripts/soak.sh shard
+	sh scripts/soak.sh ingest
 	$(MAKE) accuracy
 	$(MAKE) fuzz-smoke
 

@@ -23,7 +23,16 @@
 //	curl 'localhost:8080/estimate/join?outer=hotels&inner=restaurants&k=5'
 //	curl 'localhost:8080/cost/select?rel=restaurants&x=10&y=45&k=25'
 //	curl -X POST localhost:8080/relations -d '{"name":"bars","points":[[1,2],[3,4]]}'
+//	curl -X POST localhost:8080/relations/bars/points -d '{"points":[[5,6]]}'
+//	curl -X DELETE localhost:8080/relations/bars/points -d '{"points":[[1,2]]}'
 //	curl -X DELETE localhost:8080/relations/bars
+//
+// With -cache-dir set, point mutations are crash-safe: each is appended to a
+// write-ahead log and fsynced before the HTTP response returns (group
+// commit; see -wal-sync-interval for the relaxed mode), folded into fresh
+// catalogs by background compaction (-compact-threshold, -compact-interval),
+// and replayed from the log on restart if the daemon dies first. The
+// knncost_wal_* expvars report appends, fsyncs, replays and torn tails.
 //
 // The schema is dynamic: relations live in an internal/store relation store
 // whose immutable views hot-swap atomically under traffic, so registrations,
@@ -105,6 +114,11 @@ func publishStoreVars(st *store.Store) {
 		expvar.Publish("knncost_relations", counter(func(s *store.Store) int64 {
 			return int64(s.View().NumRelations())
 		}))
+		expvar.Publish("knncost_wal_appends", counter((*store.Store).WALAppends))
+		expvar.Publish("knncost_wal_fsyncs", counter((*store.Store).WALFsyncs))
+		expvar.Publish("knncost_wal_replayed", counter((*store.Store).WALReplayed))
+		expvar.Publish("knncost_wal_truncated_tails", counter((*store.Store).WALTruncatedTails))
+		expvar.Publish("knncost_compactions", counter((*store.Store).Compactions))
 	})
 }
 
@@ -128,6 +142,14 @@ func run(args []string, stdout io.Writer) int {
 			"directory for server-side point files usable in POST /relations (empty disables)")
 		buildWorkers = fs.Int("build-workers", 0,
 			"catalog build worker pool size (0 means GOMAXPROCS)")
+		compactThreshold = fs.Int("compact-threshold", 0,
+			"pending delta points that trigger a background compaction (0 means 512)")
+		compactInterval = fs.Duration("compact-interval", 0,
+			"staleness bound: pending deltas older than this are compacted (0 means 2s, negative disables)")
+		walSyncInterval = fs.Duration("wal-sync-interval", 0,
+			"WAL group-fsync interval; 0 fsyncs on every mutation before it is acknowledged")
+		walSegmentBytes = fs.Int("wal-segment-bytes", 0,
+			"WAL segment rotation size in bytes (0 means the built-in default)")
 
 		estimateDeadline = fs.Duration("deadline-estimate", 5*time.Second,
 			"per-request deadline for /estimate/* and metadata routes (0 disables)")
@@ -157,6 +179,12 @@ func run(args []string, stdout io.Writer) int {
 			"router hedge delay floor; the adaptive delay is the observed -hedge-percentile of the primary (0 disables hedging)")
 		hedgePercentile = fs.Float64("hedge-percentile", 0.95,
 			"latency percentile of the primary replica used as the adaptive hedge delay")
+		attemptTimeout = fs.Duration("attempt-timeout", 0,
+			"router per-replica attempt bound before failing over (0 disables)")
+		breakerFailures = fs.Int("breaker-failures", 0,
+			"consecutive transport failures that trip a replica's health breaker (0 means 3, negative disables)")
+		breakerBackoff = fs.Duration("breaker-backoff", 0,
+			"initial backoff between health probes of a tripped replica (0 means 250ms)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -166,6 +194,8 @@ func run(args []string, stdout io.Writer) int {
 		return runRouter(routerConfig{
 			addr: *addr, peers: *peers, replicas: *replicas,
 			hedgeAfter: *hedgeAfter, hedgePercentile: *hedgePercentile,
+			attemptTimeout: *attemptTimeout, breakerFailures: *breakerFailures,
+			breakerBackoff: *breakerBackoff,
 			estimateDeadline: *estimateDeadline, costDeadline: *costDeadline,
 			adminDeadline: *adminDeadline, maxInFlight: *maxInFlight,
 			queueLen: *queueLen, retryAfter: *retryAfter, drain: *drain,
@@ -195,14 +225,18 @@ func run(args []string, stdout io.Writer) int {
 	fmt.Fprintf(stdout, "knncostd listening on %s\n", ln.Addr())
 
 	st, err := store.New(store.Options{
-		MaxK:          *maxK,
-		SampleSize:    *sample,
-		GridSize:      *gridSize,
-		IndexCapacity: *capacity,
-		Bounds:        datagen.WorldBounds,
-		Workers:       *buildWorkers,
-		CacheDir:      *cacheDir,
-		RegistryScope: *shardID,
+		MaxK:             *maxK,
+		SampleSize:       *sample,
+		GridSize:         *gridSize,
+		IndexCapacity:    *capacity,
+		Bounds:           datagen.WorldBounds,
+		Workers:          *buildWorkers,
+		CacheDir:         *cacheDir,
+		RegistryScope:    *shardID,
+		CompactThreshold: *compactThreshold,
+		CompactInterval:  *compactInterval,
+		WALSyncInterval:  *walSyncInterval,
+		WALSegmentBytes:  *walSegmentBytes,
 	})
 	if err != nil {
 		log.Printf("knncostd: %v", err)
@@ -358,6 +392,9 @@ type routerConfig struct {
 	replicas        int
 	hedgeAfter      time.Duration
 	hedgePercentile float64
+	attemptTimeout  time.Duration
+	breakerFailures int
+	breakerBackoff  time.Duration
 
 	estimateDeadline, costDeadline, adminDeadline time.Duration
 	maxInFlight, queueLen                         int
@@ -388,6 +425,7 @@ func publishRouterVars(rt *shard.Router) {
 		expvar.Publish("knnrouter_hedges", counter((*shard.Router).Hedges))
 		expvar.Publish("knnrouter_hedge_wins", counter((*shard.Router).HedgeWins))
 		expvar.Publish("knnrouter_rebalance_restores", counter((*shard.Router).WarmRestores))
+		expvar.Publish("knnrouter_breaker_trips", counter((*shard.Router).BreakerTrips))
 		expvar.Publish("knnrouter_requests", expvar.Func(func() any {
 			if r := varsRouter.Load(); r != nil {
 				return r.RequestsByShard()
@@ -446,6 +484,9 @@ func runRouter(cfg routerConfig, stdout io.Writer) int {
 		Replicas:        cfg.replicas,
 		HedgeAfter:      cfg.hedgeAfter,
 		HedgePercentile: cfg.hedgePercentile,
+		AttemptTimeout:  cfg.attemptTimeout,
+		BreakerFailures: cfg.breakerFailures,
+		BreakerBackoff:  cfg.breakerBackoff,
 	})
 	if err != nil {
 		log.Printf("knncostd: %v", err)

@@ -1,0 +1,74 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"mime"
+	"net/http"
+
+	"knncost/internal/geom"
+	"knncost/internal/store"
+)
+
+// MutateRequest is the body of POST and DELETE /relations/{name}/points.
+type MutateRequest struct {
+	// Points are the coordinates to append or delete, each [x, y]. DELETE
+	// removes every stored occurrence of each coordinate.
+	Points [][2]float64 `json:"points"`
+}
+
+// handleAppendPoints streams points into a live relation. The write is
+// WAL-durable when the response returns; the published snapshot absorbs it
+// at the next compaction (see the delta_* fields of the response).
+func (s *Server) handleAppendPoints(w http.ResponseWriter, r *http.Request) {
+	s.handleMutatePoints(w, r, s.store.Append)
+}
+
+// handleDeletePoints removes every occurrence of the given coordinates
+// from a live relation, with the same durability contract as append.
+func (s *Server) handleDeletePoints(w http.ResponseWriter, r *http.Request) {
+	s.handleMutatePoints(w, r, s.store.Delete)
+}
+
+func (s *Server) handleMutatePoints(w http.ResponseWriter, r *http.Request, apply func(string, []geom.Point) (store.RelationStatus, error)) {
+	if ct := r.Header.Get("Content-Type"); ct != "" {
+		mt, _, err := mime.ParseMediaType(ct)
+		if err != nil || mt != "application/json" {
+			writeJSON(w, http.StatusUnsupportedMediaType,
+				errorResponse{Error: fmt.Sprintf("Content-Type %q not supported; use application/json", ct)})
+			return
+		}
+	}
+	var req MutateRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRegisterBody)).Decode(&req); err != nil {
+		badRequest(w, "decoding mutation: %v", err)
+		return
+	}
+	if len(req.Points) == 0 {
+		badRequest(w, "mutation needs at least one point")
+		return
+	}
+	pts := make([]geom.Point, len(req.Points))
+	for i, p := range req.Points {
+		pts[i] = geom.Point{X: p[0], Y: p[1]}
+	}
+	st, err := apply(r.PathValue("name"), pts)
+	if err != nil {
+		switch {
+		case errors.Is(err, store.ErrUnknownRelation):
+			notFound(w, "%v", err)
+		case errors.Is(err, store.ErrNoPointSource):
+			// The relation exists but was registered from a prebuilt index:
+			// there is no point sequence to mutate. Conflict, not not-found.
+			writeJSON(w, http.StatusConflict, errorResponse{Error: err.Error()})
+		case errors.Is(err, store.ErrClosed):
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: err.Error()})
+		default:
+			badRequest(w, "%v", err)
+		}
+		return
+	}
+	writeJSON(w, http.StatusOK, infoFromStatus(st))
+}

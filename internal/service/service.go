@@ -36,6 +36,14 @@
 //	                                  body carries inline points or a
 //	                                  server-side file name under DataDir)
 //	DELETE /relations/{name}          drop a relation
+//	POST   /relations/{name}/points   append points to a live relation
+//	DELETE /relations/{name}/points   delete every occurrence of the given
+//	                                  coordinates
+//
+// Mutations are WAL-durable when the response returns and become visible in
+// estimates at the next compaction; the response's delta_* fields report how
+// much is pending. Mutating an index-registered relation (no point source)
+// is 409; an unknown relation is 404.
 //
 // A relation that is registered but not yet published answers estimates with
 // 503 + Retry-After (it will exist shortly); an unknown name stays 400.
@@ -174,6 +182,8 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /relations/{name}/points", s.handleRelationPoints)
 	s.mux.HandleFunc("GET /techniques", s.handleTechniques)
 	s.mux.HandleFunc("DELETE /relations/{name}", s.handleDropRelation)
+	s.mux.HandleFunc("POST /relations/{name}/points", s.handleAppendPoints)
+	s.mux.HandleFunc("DELETE /relations/{name}/points", s.handleDeletePoints)
 	s.mux.HandleFunc("GET /estimate/select", s.handleEstimateSelect)
 	// The batch route owns its method dispatch (instead of a "POST ..."
 	// mux pattern) so wrong methods get a JSON 405 with an Allow header
@@ -245,6 +255,12 @@ type RelationInfo struct {
 	NumBlocks        int    `json:"num_blocks"`
 	StaircaseBytes   int    `json:"staircase_bytes"`
 	VirtualGridBytes int    `json:"virtual_grid_bytes"`
+	// DeltaOps/DeltaPoints/DeltaAgeMs describe the WAL-durable mutations the
+	// published snapshot does not cover yet; DeltaAgeMs is the staleness
+	// bound — the age of the oldest uncompacted write.
+	DeltaOps    int   `json:"delta_ops,omitempty"`
+	DeltaPoints int   `json:"delta_points,omitempty"`
+	DeltaAgeMs  int64 `json:"delta_age_ms,omitempty"`
 }
 
 func infoFromStatus(st store.RelationStatus) RelationInfo {
@@ -257,6 +273,9 @@ func infoFromStatus(st store.RelationStatus) RelationInfo {
 		NumBlocks:        st.NumBlocks,
 		StaircaseBytes:   st.StaircaseBytes,
 		VirtualGridBytes: st.VirtualGridBytes,
+		DeltaOps:         st.DeltaOps,
+		DeltaPoints:      st.DeltaPoints,
+		DeltaAgeMs:       st.DeltaAgeMs,
 	}
 }
 
@@ -279,30 +298,36 @@ func (s *Server) handleRelationStatus(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, infoFromStatus(st))
 }
 
-// handleRelationPoints serves a relation's source points, shaped exactly
-// like a RegisterRequest body: POSTing the response to another server's
-// /relations re-registers the identical relation — same points in the same
-// order, hence the same fingerprint, the same index, and bit-identical
-// catalogs. This is the hand-off primitive the shard router's rebalance
-// warm-restores are built on. Index-registered relations have no
-// reproducible point source and answer 404.
+// handleRelationPoints serves a relation's logical point sequence — the
+// published snapshot plus every pending delta — shaped exactly like a
+// RegisterRequest body: POSTing the response to another server's /relations
+// re-registers the identical relation — same points in the same order,
+// hence the same fingerprint after compaction, the same index, and
+// bit-identical catalogs. This is the hand-off primitive the shard router's
+// rebalance warm-restores are built on; serving the logical (not published)
+// sequence keeps mirror healing convergent even mid-ingest.
+// Index-registered relations have no reproducible point source and
+// answer 404.
 func (s *Server) handleRelationPoints(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
-	snap := s.store.View().Relation(name)
-	if snap == nil {
-		if st, known := s.store.Status(name); known {
-			notReady(w, st)
-			return
+	pts, err := s.store.LogicalPoints(name)
+	if err != nil {
+		switch {
+		case errors.Is(err, store.ErrNotReady):
+			if st, known := s.store.Status(name); known {
+				notReady(w, st)
+				return
+			}
+			notFound(w, "unknown relation %q", name)
+		case errors.Is(err, store.ErrNoPointSource):
+			notFound(w, "relation %q has no reproducible point source", name)
+		default:
+			notFound(w, "%v", err)
 		}
-		notFound(w, "unknown relation %q", name)
 		return
 	}
-	if snap.Points == nil {
-		notFound(w, "relation %q has no reproducible point source", name)
-		return
-	}
-	resp := RegisterRequest{Name: name, Points: make([][2]float64, len(snap.Points))}
-	for i, p := range snap.Points {
+	resp := RegisterRequest{Name: name, Points: make([][2]float64, len(pts))}
+	for i, p := range pts {
 		resp.Points[i] = [2]float64{p.X, p.Y}
 	}
 	writeJSON(w, http.StatusOK, resp)

@@ -53,6 +53,23 @@ type Options struct {
 	// MirrorTimeout bounds one rebalance warm-restore (fetch points from a
 	// peer, register on the target shard, wait ready). Zero means 30s.
 	MirrorTimeout time.Duration
+	// AttemptTimeout bounds one read attempt against one replica. When a
+	// replica exceeds it the attempt fails over to the next replica (and
+	// counts against the replica's health breaker). Zero disables the
+	// per-attempt bound; the request then only fails over on transport
+	// errors.
+	AttemptTimeout time.Duration
+	// BreakerFailures is the consecutive-transport-failure count that trips
+	// a replica's health breaker: a tripped replica sinks to the end of
+	// every read order until a background probe sees /healthz answer again.
+	// Zero means 3; negative disables the breaker.
+	BreakerFailures int
+	// BreakerBackoff is the initial delay between health probes of a tripped
+	// replica; probes back off exponentially (jittered) to 16x this value.
+	// Zero means 250ms.
+	BreakerBackoff time.Duration
+	// BreakerProbeTimeout bounds one health probe. Zero means 2s.
+	BreakerProbeTimeout time.Duration
 	// Client is the HTTP client used for shard requests. Nil means a
 	// client with sane connection pooling defaults.
 	Client *http.Client
@@ -70,6 +87,15 @@ func (o Options) withDefaults() Options {
 	if o.MirrorTimeout <= 0 {
 		o.MirrorTimeout = 30 * time.Second
 	}
+	if o.BreakerFailures == 0 {
+		o.BreakerFailures = 3
+	}
+	if o.BreakerBackoff <= 0 {
+		o.BreakerBackoff = 250 * time.Millisecond
+	}
+	if o.BreakerProbeTimeout <= 0 {
+		o.BreakerProbeTimeout = 2 * time.Second
+	}
 	return o
 }
 
@@ -80,13 +106,22 @@ func (o Options) logger() *log.Logger {
 	return log.Default()
 }
 
-// replica is the router's per-shard state: address, latency history and a
-// request counter. It survives rebalances that keep the shard.
+// replica is the router's per-shard state: address, latency history, a
+// request counter and breaker health. It survives rebalances that keep the
+// shard.
 type replica struct {
 	id       string
 	base     string
 	lat      tracker
 	requests atomic.Int64
+
+	// Breaker state: fails counts consecutive transport failures, down
+	// flags a tripped breaker (reads deprioritize the replica until a
+	// background probe sees it healthy), gone is closed when the replica
+	// leaves the topology so its probe goroutine exits.
+	fails atomic.Int32
+	down  atomic.Bool
+	gone  chan struct{}
 }
 
 // Router is a stateless scatter-gather front for a set of shard daemons: it
@@ -111,9 +146,10 @@ type Router struct {
 	ring *Ring
 	reps map[string]*replica
 
-	hedges    atomic.Int64
-	hedgeWins atomic.Int64
-	restores  atomic.Int64
+	hedges       atomic.Int64
+	hedgeWins    atomic.Int64
+	restores     atomic.Int64
+	breakerTrips atomic.Int64
 
 	mirrorMu sync.Mutex
 	mirrors  map[string]chan struct{} // in-flight mirrors by "shardID/relation"
@@ -171,7 +207,14 @@ func (rt *Router) SetShards(shards []Shard) error {
 			reps[id] = old
 			continue
 		}
-		reps[id] = &replica{id: id, base: base}
+		reps[id] = &replica{id: id, base: base, gone: make(chan struct{})}
+	}
+	// Replicas that left the topology (or changed address) take their
+	// breaker probes with them.
+	for id, old := range rt.reps {
+		if reps[id] != old {
+			close(old.gone)
+		}
 	}
 	rt.ring, rt.reps = ring, reps
 	return nil
@@ -187,6 +230,9 @@ func (rt *Router) HedgeWins() int64 { return rt.hedgeWins.Load() }
 // WarmRestores returns the number of relations mirrored onto a shard in
 // response to routing (rebalances and cross-shard join colocations).
 func (rt *Router) WarmRestores() int64 { return rt.restores.Load() }
+
+// BreakerTrips returns how many times a replica's health breaker tripped.
+func (rt *Router) BreakerTrips() int64 { return rt.breakerTrips.Load() }
 
 // RequestsByShard returns the per-shard request counts of the current
 // topology.
@@ -212,6 +258,8 @@ func (rt *Router) routes() {
 	rt.mux.HandleFunc("GET /relations", rt.handleRelations)
 	rt.mux.HandleFunc("POST /relations", rt.handleRegister)
 	rt.mux.HandleFunc("DELETE /relations/{name}", rt.handleDrop)
+	rt.mux.HandleFunc("POST /relations/{name}/points", rt.handleMutatePoints)
+	rt.mux.HandleFunc("DELETE /relations/{name}/points", rt.handleMutatePoints)
 	rt.mux.HandleFunc("GET /relations/{name}/status", rt.handleRelationGet)
 	rt.mux.HandleFunc("GET /relations/{name}/points", rt.handleRelationGet)
 	rt.mux.HandleFunc("GET /estimate/select", rt.handleSelect)
@@ -246,9 +294,17 @@ func (rt *Router) ownersFor(relation string) []*replica {
 // replicasFor returns the relation's owning replicas ordered fastest-first
 // by observed median latency — the order reads race down. Unmeasured
 // replicas sort first so new shards get probed (and healed) promptly.
+// Replicas with a tripped breaker sink to the end — still reachable as the
+// last resort, but no read waits on a known-dead shard first.
 func (rt *Router) replicasFor(relation string) []*replica {
 	out := rt.ownersFor(relation)
-	sort.SliceStable(out, func(i, j int) bool { return out[i].lat.median() < out[j].lat.median() })
+	sort.SliceStable(out, func(i, j int) bool {
+		di, dj := out[i].down.Load(), out[j].down.Load()
+		if di != dj {
+			return !di
+		}
+		return out[i].lat.median() < out[j].lat.median()
+	})
 	return out
 }
 
@@ -366,7 +422,7 @@ func (rt *Router) hedgedDo(ctx context.Context, reps []*replica, req proxyReq) p
 	launch := func() {
 		rep := reps[next]
 		next++
-		go func() { results <- rt.do(attemptCtx, rep, req) }()
+		go func() { results <- rt.attempt(attemptCtx, rep, req) }()
 	}
 	launch()
 	inFlight := 1
@@ -820,6 +876,81 @@ func (rt *Router) handleDrop(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusNotFound, map[string]string{"error": fmt.Sprintf("unknown relation %q", name)})
+}
+
+// mutationUnknownRe matches the mutation endpoints' 404 body ("store:
+// unknown relation: \"name\"") — the signal that an owner is missing a
+// relation it should hold a replica of.
+var mutationUnknownRe = regexp.MustCompile(`unknown relation:? \\?"`)
+
+func mutationUnknown(res proxyRes) bool {
+	return res.err == nil && res.status == http.StatusNotFound && mutationUnknownRe.Match(res.body)
+}
+
+// handleMutatePoints fans a point mutation (append or delete) out to every
+// owner of the relation, primary first: the primary is the authoritative
+// copy — its answer is the client's answer, and a secondary that turns out
+// to be missing the relation (the moment after a rebalance) is healed by
+// mirroring the primary's logical points, which already include this write,
+// so the heal does not replay it. A missing primary is healed from a peer
+// BEFORE the write applies anywhere, then retried — once — so the write
+// lands exactly once there too.
+//
+// Secondaries apply the same mutation concurrently; a secondary failure is
+// logged, not fatal (the next heal re-converges it from the primary).
+// Writes deliberately ignore breaker state: durability needs the
+// deterministic ring owners, not the fastest healthy subset.
+func (rt *Router) handleMutatePoints(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxRegisterBody))
+	if err != nil {
+		badRequest(w, "reading mutation: %v", err)
+		return
+	}
+	req := proxyReq{
+		method: r.Method, pathQuery: "/relations/" + name + "/points",
+		body: body, contentType: r.Header.Get("Content-Type"),
+	}
+	owners := rt.ownersFor(name)
+	if len(owners) == 0 {
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": fmt.Sprintf("unknown relation %q", name)})
+		return
+	}
+	res := rt.attempt(r.Context(), owners[0], req)
+	if mutationUnknown(res) {
+		if merr := rt.mirror(r.Context(), owners[0], name); merr != nil {
+			rt.opt.logger().Printf("shard: mirroring %q to primary %s: %v", name, owners[0].id, merr)
+			writeProxied(w, res)
+			return
+		}
+		res = rt.do(r.Context(), owners[0], req)
+	}
+	if res.err != nil || res.status != http.StatusOK {
+		writeProxied(w, res)
+		return
+	}
+	var wg sync.WaitGroup
+	for _, rep := range owners[1:] {
+		wg.Add(1)
+		go func(rep *replica) {
+			defer wg.Done()
+			sres := rt.attempt(r.Context(), rep, req)
+			if mutationUnknown(sres) {
+				// The mirror fetches the primary's logical points, which
+				// include this mutation: healing IS the apply here.
+				if merr := rt.mirror(r.Context(), rep, name); merr != nil {
+					rt.opt.logger().Printf("shard: mirroring %q to %s: %v", name, rep.id, merr)
+				}
+				return
+			}
+			if sres.err != nil || sres.status != http.StatusOK {
+				rt.opt.logger().Printf("shard: mutating %q on replica %s: status %d err %v",
+					name, rep.id, sres.status, sres.err)
+			}
+		}(rep)
+	}
+	wg.Wait()
+	writeProxied(w, res)
 }
 
 // maxBatchBody mirrors the service's batch body bound.

@@ -39,6 +39,7 @@ import (
 	"fmt"
 	"log"
 	"math"
+	"path/filepath"
 	"runtime"
 	"sort"
 	"sync"
@@ -50,6 +51,7 @@ import (
 	"knncost/internal/geom"
 	"knncost/internal/index"
 	"knncost/internal/quadtree"
+	"knncost/internal/wal"
 )
 
 // State is the build status of a relation.
@@ -113,9 +115,31 @@ type Options struct {
 	// only what scope "a" registered. Empty means the unscoped
 	// registry.json.
 	RegistryScope string
+	// CompactThreshold is the pending-delta point count at which a
+	// relation's mutations are compacted into fresh artifacts. Zero means
+	// 512.
+	CompactThreshold int
+	// CompactInterval bounds delta staleness: a background pass compacts
+	// any relation with pending mutations this often. Zero means 2s;
+	// negative disables the timer (compaction then happens only via the
+	// threshold, Flush, or WaitSettled — useful in deterministic tests).
+	CompactInterval time.Duration
+	// WALSegmentBytes is the write-ahead-log segment rotation threshold.
+	// Zero means 4 MiB. The WAL is enabled whenever CacheDir is set.
+	WALSegmentBytes int
+	// WALSyncInterval selects the mutation fsync policy: zero means group
+	// commit (every mutation is fsynced before it is acknowledged,
+	// batching concurrent mutators into one fsync); a positive value
+	// trades a bounded loss window for throughput by fsyncing on a timer
+	// instead.
+	WALSyncInterval time.Duration
 	// Logger receives cache warnings and build logs. Nil means the standard
 	// logger.
 	Logger *log.Logger
+	// crashHook, when set, is passed to the WAL as its OpHook: the
+	// crash-injection tests snapshot the cache directory at every
+	// durability-critical operation.
+	crashHook func(op string)
 }
 
 func (o Options) withDefaults() Options {
@@ -136,6 +160,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.QueueLen <= 0 {
 		o.QueueLen = 256
+	}
+	if o.CompactThreshold <= 0 {
+		o.CompactThreshold = 512
+	}
+	if o.CompactInterval == 0 {
+		o.CompactInterval = 2 * time.Second
 	}
 	return o
 }
@@ -200,6 +230,11 @@ type RelationStatus struct {
 	NumBlocks        int `json:"num_blocks"`
 	StaircaseBytes   int `json:"staircase_bytes"`
 	VirtualGridBytes int `json:"virtual_grid_bytes"`
+	// Delta overlay depth: mutations acknowledged but not yet compacted
+	// into the published snapshot. All zero when the relation is settled.
+	DeltaOps    int   `json:"delta_ops,omitempty"`
+	DeltaPoints int   `json:"delta_points,omitempty"`
+	DeltaAgeMs  int64 `json:"delta_age_ms,omitempty"`
 }
 
 // View is an immutable snapshot of the whole store: every published
@@ -259,6 +294,30 @@ type entry struct {
 	snap *Snapshot
 	// cancel aborts the in-flight build when superseded or dropped.
 	cancel context.CancelFunc
+
+	// fromPoints marks relations whose wanted generation came from raw
+	// points — the only kind the mutation API and points endpoint serve.
+	fromPoints bool
+	// pending is the delta overlay: durably logged mutations not yet
+	// folded into the published snapshot, in LSN order.
+	pending []mutation
+	// ckptLSN is the mutation watermark the wanted generation folds in;
+	// the publish step writes it into the WAL checkpoint and drops the
+	// covered prefix of pending.
+	ckptLSN uint64
+	// isCompact marks the wanted generation as a delta compaction (for
+	// the compaction counter; compactions also re-trigger on leftovers).
+	isCompact bool
+	// restoredFP is the registry fingerprint this entry was warm-restored
+	// from; WAL checkpoints are effective on replay only if they match.
+	restoredFP string
+	// replayDropped is set while replay scans a KindDrop record; if no
+	// later effective checkpoint revives the name, the drop is finished.
+	replayDropped bool
+	// durableCovered / rememberFailed track how much of the log the
+	// registry has absorbed, pinning WAL trim when a registry write fails.
+	durableCovered uint64
+	rememberFailed bool
 }
 
 // ErrQueueFull is returned by Register when the build queue is saturated.
@@ -272,17 +331,22 @@ var ErrClosed = errors.New("store: closed")
 type Store struct {
 	opt   Options
 	cache *diskCache // nil without CacheDir
+	wal   *wal.WAL   // nil without CacheDir
 
 	view atomic.Pointer[View]
 
 	mu      sync.Mutex
 	entries map[string]*entry
 	closed  bool
+	seq     uint64 // mutation sequence when the WAL is disabled
 
 	jobs   chan string // build signals; one per Queued transition
 	wg     sync.WaitGroup
 	ctx    context.Context
 	cancel context.CancelFunc
+
+	stopCompact   chan struct{} // nil when the interval compactor is off
+	compactorDone chan struct{}
 
 	// catalogBuilds counts catalogs actually constructed (staircase,
 	// virtual grid, catalog-merge); warm restarts that load everything from
@@ -290,12 +354,20 @@ type Store struct {
 	catalogBuilds atomic.Int64
 	// cacheHits counts catalogs loaded from the disk cache instead of built.
 	cacheHits atomic.Int64
+	// walReplayed counts mutation records replayed from the WAL at startup;
+	// walTruncated counts torn tails (and dropped follow-on segments)
+	// repaired; compactions counts published delta compactions.
+	walReplayed  atomic.Int64
+	walTruncated atomic.Int64
+	compactions  atomic.Int64
 }
 
 // New creates a Store and starts its build workers. When CacheDir is set,
-// relations recorded in the cache registry are re-registered immediately
-// (their builds resolve from the cache, so they become ready without any
-// catalog construction).
+// the write-ahead log in <CacheDir>/wal[-scope] is replayed and relations
+// recorded in the cache registry are re-registered immediately with their
+// unflushed deltas pending (their builds resolve from the cache, so they
+// become ready without any catalog construction, and leftover deltas
+// compact right after the first publish).
 func New(opt Options) (*Store, error) {
 	opt = opt.withDefaults()
 	s := &Store{
@@ -305,37 +377,52 @@ func New(opt Options) (*Store, error) {
 	}
 	s.view.Store(emptyView)
 	s.ctx, s.cancel = context.WithCancel(context.Background())
+	var replay wal.Replay
 	if opt.CacheDir != "" {
 		c, err := openDiskCache(opt.CacheDir, opt.RegistryScope)
 		if err != nil {
 			return nil, fmt.Errorf("store: opening cache: %w", err)
 		}
 		s.cache = c
+		walDir := "wal"
+		if opt.RegistryScope != "" {
+			walDir = "wal-" + opt.RegistryScope
+		}
+		w, rep, err := wal.Open(wal.Options{
+			Dir:          filepath.Join(opt.CacheDir, walDir),
+			SegmentBytes: opt.WALSegmentBytes,
+			SyncInterval: opt.WALSyncInterval,
+			Logger:       opt.Logger,
+			OpHook:       opt.crashHook,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("store: opening wal: %w", err)
+		}
+		s.wal = w
+		replay = rep
+		s.walTruncated.Store(int64(rep.TruncatedTails + rep.DroppedSegments))
+		if rep.TruncatedTails > 0 || rep.DroppedSegments > 0 {
+			s.opt.logger().Printf("store: wal repaired on replay: %d torn tails truncated, %d segments dropped", rep.TruncatedTails, rep.DroppedSegments)
+		}
 	}
+	// Hold the lock across worker startup and recovery: a worker grabs the
+	// lock before building, so no build can publish until every restored
+	// relation carries its replayed deltas.
+	s.mu.Lock()
 	for i := 0; i < opt.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
 	}
 	if s.cache != nil {
-		s.restoreFromRegistry()
+		s.recoverLocked(replay.Records)
+	}
+	s.mu.Unlock()
+	if opt.CompactInterval > 0 {
+		s.stopCompact = make(chan struct{})
+		s.compactorDone = make(chan struct{})
+		go s.compactor()
 	}
 	return s, nil
-}
-
-// restoreFromRegistry re-registers every relation the cache registry names,
-// sourcing points from the cached points file. Unreadable entries are logged
-// and skipped; they will simply be cold next time they are registered.
-func (s *Store) restoreFromRegistry() {
-	for _, reg := range s.cache.registry() {
-		pts, err := s.cache.loadPoints(reg.Fingerprint)
-		if err != nil {
-			s.opt.logger().Printf("store: cache registry %q: %v (skipping)", reg.Name, err)
-			continue
-		}
-		if _, err := s.Register(reg.Name, pts); err != nil {
-			s.opt.logger().Printf("store: re-registering cached %q: %v", reg.Name, err)
-		}
-	}
 }
 
 // Options returns the store's effective (defaulted) options.
@@ -411,19 +498,39 @@ func (s *Store) submit(name string, pts []geom.Point, tree *index.Tree) (Relatio
 		return RelationStatus{}, ErrClosed
 	}
 	e := s.entries[name]
-	needSignal := e == nil || e.state != StateQueued
-	if needSignal {
+	isNew := e == nil
+	if isNew {
+		e = &entry{name: name}
+	}
+	if err := s.enqueueLocked(e, pts, tree); err != nil {
+		return RelationStatus{}, err
+	}
+	if isNew {
+		s.entries[name] = e
+	}
+	// A user registration replaces base and deltas wholesale: pending
+	// mutations are obsolete, and the publish checkpoint covers everything
+	// logged so far for this relation.
+	e.pending = nil
+	e.ckptLSN = s.lastLSNLocked()
+	e.isCompact = false
+	e.fromPoints = pts != nil
+	s.republishLocked()
+	return e.statusLocked(), nil
+}
+
+// enqueueLocked stages pts/tree as e's wanted generation and ensures a
+// build signal is queued, superseding any in-flight build. On ErrQueueFull
+// the entry is untouched. Caller holds s.mu.
+func (s *Store) enqueueLocked(e *entry, pts []geom.Point, tree *index.Tree) error {
+	if e.state != StateQueued {
 		// Reserve the queue slot before mutating anything, so a saturated
 		// queue leaves the store untouched.
 		select {
-		case s.jobs <- name:
+		case s.jobs <- e.name:
 		default:
-			return RelationStatus{}, ErrQueueFull
+			return ErrQueueFull
 		}
-	}
-	if e == nil {
-		e = &entry{name: name}
-		s.entries[name] = e
 	}
 	e.gen++
 	e.pendingPts, e.pendingTree = pts, tree
@@ -432,8 +539,15 @@ func (s *Store) submit(name string, pts []geom.Point, tree *index.Tree) (Relatio
 	}
 	e.state = StateQueued
 	e.err = ""
-	s.republishLocked()
-	return e.statusLocked(), nil
+	return nil
+}
+
+// lastLSNLocked returns the newest assigned mutation sequence number.
+func (s *Store) lastLSNLocked() uint64 {
+	if s.wal != nil {
+		return s.wal.LastLSN()
+	}
+	return s.seq
 }
 
 // Drop removes a relation: pending and running builds are cancelled, the
@@ -449,6 +563,16 @@ func (s *Store) Drop(name string) bool {
 	if e == nil {
 		return false
 	}
+	// Log the drop and make it durable before the registry forgets the
+	// name: a crash in between then replays the drop instead of
+	// resurrecting the relation from the still-registered fingerprint.
+	if s.wal != nil {
+		if _, err := s.wal.Append(wal.Record{Kind: wal.KindDrop, Relation: name}); err != nil {
+			s.opt.logger().Printf("store: logging drop of %q: %v", name, err)
+		} else if err := s.wal.Sync(); err != nil {
+			s.opt.logger().Printf("store: syncing drop of %q: %v", name, err)
+		}
+	}
 	if e.cancel != nil {
 		e.cancel()
 	}
@@ -459,6 +583,7 @@ func (s *Store) Drop(name string) bool {
 			s.opt.logger().Printf("store: updating cache registry after dropping %q: %v", name, err)
 		}
 	}
+	s.trimWALLocked()
 	return true
 }
 
@@ -536,6 +661,10 @@ func (s *Store) Close(ctx context.Context) error {
 	close(s.jobs)
 	s.mu.Unlock()
 
+	if s.stopCompact != nil {
+		close(s.stopCompact)
+		<-s.compactorDone
+	}
 	done := make(chan struct{})
 	go func() {
 		s.wg.Wait()
@@ -550,6 +679,13 @@ func (s *Store) Close(ctx context.Context) error {
 		<-done
 	}
 	s.cancel()
+	// Workers are done publishing (and checkpointing); seal the log. Any
+	// deltas still pending stay in the WAL and replay on the next start.
+	if s.wal != nil {
+		if werr := s.wal.Close(); werr != nil {
+			s.opt.logger().Printf("store: closing wal: %v", werr)
+		}
+	}
 	return err
 }
 
@@ -599,6 +735,11 @@ func (s *Store) runJob(name string) {
 		return
 	}
 	s.publishLocked(cur, built)
+	// Deltas that arrived while this build ran (or were replayed at
+	// startup) are still pending: fold them in the next round.
+	if cur.state == StateReady && len(cur.pending) > 0 {
+		s.compactLocked(cur)
+	}
 }
 
 // builtRelation carries a finished per-relation build from the worker into
@@ -755,12 +896,46 @@ func (s *Store) publishLocked(e *entry, b *builtRelation) {
 	e.state = StateReady
 	e.err = ""
 	e.pendingPts, e.pendingTree = nil, nil
+	covered := e.ckptLSN
+	wasCompact := e.isCompact
+	e.isCompact = false
+	// Deltas this build folded in are acknowledged by the snapshot now;
+	// anything logged after the fold stays pending for the next round.
+	e.pending = filterCovered(e.pending, covered)
 	s.republishLocked()
-	if s.cache != nil && b.fp != "" {
-		if err := s.cache.remember(e.name, b.fp); err != nil {
-			s.opt.logger().Printf("store: updating cache registry for %q: %v", e.name, err)
+	if wasCompact {
+		s.compactions.Add(1)
+	}
+	if s.cache == nil || b.fp == "" {
+		return
+	}
+	// Durability order: artifacts are on disk (buildCatalogs wrote them),
+	// so checkpoint the fold in the WAL, fsync it, and only then let the
+	// registry adopt the new fingerprint. Replay treats a checkpoint whose
+	// fingerprint the registry never adopted as ineffective, so a crash
+	// anywhere in this sequence recovers a consistent base + delta state.
+	if s.wal != nil {
+		_, err := s.wal.Append(wal.Record{Kind: wal.KindCheckpoint, Relation: e.name, Covered: covered, Fingerprint: b.fp})
+		if err == nil {
+			err = s.wal.Sync()
+		}
+		if err != nil {
+			// Without a durable checkpoint the registry must keep the old
+			// fingerprint: adopting the new one would double-apply the
+			// covered deltas on replay.
+			s.opt.logger().Printf("store: checkpointing %q: %v (registry not updated)", e.name, err)
+			e.rememberFailed = true
+			return
 		}
 	}
+	if err := s.cache.remember(e.name, b.fp); err != nil {
+		s.opt.logger().Printf("store: updating cache registry for %q: %v", e.name, err)
+		e.rememberFailed = true
+	} else {
+		e.rememberFailed = false
+		e.durableCovered = covered
+	}
+	s.trimWALLocked()
 }
 
 // republishLocked rebuilds and atomically swaps in the View from the
@@ -854,6 +1029,14 @@ func (e *entry) statusLocked() RelationStatus {
 		st.NumBlocks = e.snap.Tree.NumBlocks()
 		st.StaircaseBytes = e.snap.StaircaseBytes
 		st.VirtualGridBytes = e.snap.VGridBytes
+	}
+	if len(e.pending) > 0 {
+		st.DeltaOps = len(e.pending)
+		st.DeltaPoints = pendingPoints(e)
+		st.DeltaAgeMs = time.Since(e.pending[0].at).Milliseconds()
+		if st.DeltaAgeMs < 1 {
+			st.DeltaAgeMs = 1 // a fresh delta is still a visible one
+		}
 	}
 	return st
 }

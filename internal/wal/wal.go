@@ -1,0 +1,445 @@
+// Package wal implements the write-ahead log behind streaming ingest: a
+// segmented, CRC32-C-checksummed append log with group-commit fsync.
+//
+// Layout: the log directory holds segment files named wal-<firstLSN>.seg.
+// Each segment starts with a 5-byte magic and carries a sequence of frames
+// [u32 payload length][u32 CRC32-C][payload]; payloads are the varint
+// encoding of Record. LSNs are assigned contiguously across segments, so
+// replay can verify continuity and TrimTo can drop whole segments once every
+// record in them is covered by a durable checkpoint.
+//
+// Replay never trusts the tail: a torn or corrupt frame truncates the
+// segment to its last valid record, and every later segment is discarded
+// (their records would leave a hole in the LSN sequence). Open therefore
+// always returns a valid prefix of what was appended — it never errors on
+// corruption and never replays garbage.
+//
+// Durability: Append only writes to the OS; Commit group-commits — the
+// caller blocks until one fsync covers its LSN, and concurrent committers
+// share a single fsync. With Options.SyncInterval > 0 Commit is a no-op and
+// a background goroutine fsyncs on a timer instead (bounded loss window).
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+var segMagic = []byte("KNWL\x01")
+
+// ErrClosed is returned by Append after Close.
+var ErrClosed = errors.New("wal: closed")
+
+// Options configures Open.
+type Options struct {
+	// Dir is the log directory; created if missing.
+	Dir string
+	// SegmentBytes is the rotation threshold. Zero means 4 MiB.
+	SegmentBytes int
+	// SyncInterval selects the fsync policy: zero means group commit
+	// (Commit blocks until an fsync covers its LSN); a positive value
+	// means a background fsync every interval and Commit returns
+	// immediately (the loss window after a crash is one interval).
+	SyncInterval time.Duration
+	// Logger receives non-fatal replay and trim diagnostics.
+	Logger *log.Logger
+	// OpHook, when set, is invoked with an operation label immediately
+	// before each durability-critical step ("append", "append-mid",
+	// "fsync", "rotate", "trim"). It exists for crash-injection tests,
+	// which snapshot the directory at every hook point; when set, record
+	// writes are split in two so a hook point lands mid-frame.
+	OpHook func(op string)
+}
+
+// Replay is what Open recovered from the directory.
+type Replay struct {
+	// Records is the valid prefix of the log, in LSN order.
+	Records []Record
+	// TruncatedTails counts segments whose tail was cut back to the last
+	// valid record (torn writes, bit flips, bad headers).
+	TruncatedTails int
+	// DroppedSegments counts whole segments discarded because an earlier
+	// segment was corrupt (their LSNs would not be contiguous).
+	DroppedSegments int
+}
+
+type segment struct {
+	path        string
+	first, last uint64
+}
+
+// WAL is an open log. Methods are safe for concurrent use.
+type WAL struct {
+	opt Options
+
+	mu       sync.Mutex // serializes writes, rotation, trim
+	f        *os.File   // active segment
+	segPath  string
+	segFirst uint64
+	segSize  int64
+	nextLSN  uint64
+	segments []segment // closed segments, oldest first
+	closed   bool
+	failed   error // sticky write failure: the tail may be torn
+	buf      []byte
+
+	sc        sync.Cond
+	scMu      sync.Mutex
+	syncing   bool
+	syncedLSN uint64
+	syncErr   error
+
+	stop chan struct{}
+	done chan struct{}
+
+	appends atomic.Int64
+	fsyncs  atomic.Int64
+}
+
+// Open replays the log in dir and opens it for appending. Corruption is
+// repaired (truncated), counted in Replay, and never returned as an error.
+func Open(opt Options) (*WAL, Replay, error) {
+	if opt.SegmentBytes <= 0 {
+		opt.SegmentBytes = 4 << 20
+	}
+	if err := os.MkdirAll(opt.Dir, 0o755); err != nil {
+		return nil, Replay{}, fmt.Errorf("wal: %w", err)
+	}
+	names, err := filepath.Glob(filepath.Join(opt.Dir, "wal-*.seg"))
+	if err != nil {
+		return nil, Replay{}, fmt.Errorf("wal: %w", err)
+	}
+	sort.Strings(names)
+
+	var rep Replay
+	var segs []segment
+	var lastValidLen int64
+	prev := uint64(0) // last valid LSN seen, 0 = none yet
+	corrupt := false
+	for _, path := range names {
+		if corrupt {
+			if os.Remove(path) == nil {
+				rep.DroppedSegments++
+			}
+			continue
+		}
+		data, rerr := os.ReadFile(path)
+		var valid int
+		var recs []Record
+		truncated := true
+		if rerr == nil {
+			valid, recs, truncated = scanSegment(data, &prev)
+		}
+		rep.Records = append(rep.Records, recs...)
+		if truncated {
+			rep.TruncatedTails++
+			corrupt = true
+			if opt.Logger != nil {
+				opt.Logger.Printf("wal: truncating %s to %d bytes (%d records recovered)", filepath.Base(path), valid, len(recs))
+			}
+			if valid < len(segMagic) {
+				// Nothing usable, not even a header: drop the file.
+				os.Remove(path)
+				continue
+			}
+			if err := os.Truncate(path, int64(valid)); err != nil {
+				return nil, Replay{}, fmt.Errorf("wal: truncate torn tail: %w", err)
+			}
+		}
+		first, last := uint64(0), uint64(0)
+		if len(recs) > 0 {
+			first, last = recs[0].LSN, recs[len(recs)-1].LSN
+		}
+		segs = append(segs, segment{path: path, first: first, last: last})
+		lastValidLen = int64(valid)
+	}
+
+	w := &WAL{opt: opt, nextLSN: prev + 1}
+	w.sc.L = &w.scMu
+	w.syncedLSN = prev
+	if n := len(segs); n > 0 {
+		active := segs[n-1]
+		f, err := os.OpenFile(active.path, os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, Replay{}, fmt.Errorf("wal: reopen active segment: %w", err)
+		}
+		w.f = f
+		w.segPath = active.path
+		w.segFirst = active.first
+		w.segSize = lastValidLen
+		w.segments = segs[:n-1]
+	} else if err := w.createSegmentLocked(); err != nil {
+		return nil, Replay{}, err
+	}
+	if opt.SyncInterval > 0 {
+		w.stop = make(chan struct{})
+		w.done = make(chan struct{})
+		go w.syncLoop()
+	}
+	return w, rep, nil
+}
+
+// scanSegment validates data and returns the length of the valid prefix,
+// the records it contains, and whether the segment had to be cut back.
+// prev carries LSN continuity across segments.
+func scanSegment(data []byte, prev *uint64) (int, []Record, bool) {
+	if len(data) < len(segMagic) || !bytes.Equal(data[:len(segMagic)], segMagic) {
+		return 0, nil, true
+	}
+	off := len(segMagic)
+	var recs []Record
+	for off < len(data) {
+		rec, n, err := decodeFrame(data[off:])
+		if err != nil {
+			return off, recs, true
+		}
+		if *prev != 0 && rec.LSN != *prev+1 {
+			return off, recs, true
+		}
+		if *prev == 0 && rec.LSN == 0 {
+			return off, recs, true
+		}
+		*prev = rec.LSN
+		recs = append(recs, rec)
+		off += n
+	}
+	return off, recs, false
+}
+
+func (w *WAL) createSegmentLocked() error {
+	path := filepath.Join(w.opt.Dir, fmt.Sprintf("wal-%020d.seg", w.nextLSN))
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: create segment: %w", err)
+	}
+	if _, err := f.Write(segMagic); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: write segment header: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: sync segment header: %w", err)
+	}
+	w.syncDir()
+	w.f = f
+	w.segPath = path
+	w.segFirst = w.nextLSN
+	w.segSize = int64(len(segMagic))
+	return nil
+}
+
+// rotateLocked makes the active segment durable, closes it, and starts a
+// fresh one. Called with w.mu held.
+func (w *WAL) rotateLocked() error {
+	if hook := w.opt.OpHook; hook != nil {
+		hook("rotate")
+	}
+	if err := w.f.Sync(); err != nil {
+		return err
+	}
+	w.fsyncs.Add(1)
+	if err := w.f.Close(); err != nil {
+		return err
+	}
+	w.segments = append(w.segments, segment{path: w.segPath, first: w.segFirst, last: w.nextLSN - 1})
+	return w.createSegmentLocked()
+}
+
+// Append writes r to the active segment and returns its LSN. The record is
+// in the OS buffer only — call Commit (or rely on the interval syncer) to
+// make it durable. After a write error the log refuses further appends:
+// the tail may be torn, and appending past it would make later records
+// unrecoverable.
+func (w *WAL) Append(r Record) (uint64, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return 0, ErrClosed
+	}
+	if w.failed != nil {
+		return 0, fmt.Errorf("wal: log failed: %w", w.failed)
+	}
+	if w.segSize >= int64(w.opt.SegmentBytes) {
+		if err := w.rotateLocked(); err != nil {
+			w.failed = err
+			return 0, fmt.Errorf("wal: rotate: %w", err)
+		}
+	}
+	r.LSN = w.nextLSN
+	w.buf = appendFrame(w.buf[:0], r)
+	if hook := w.opt.OpHook; hook != nil {
+		hook("append")
+		half := len(w.buf) / 2
+		if _, err := w.f.Write(w.buf[:half]); err != nil {
+			w.failed = err
+			return 0, err
+		}
+		hook("append-mid")
+		if _, err := w.f.Write(w.buf[half:]); err != nil {
+			w.failed = err
+			return 0, err
+		}
+	} else if _, err := w.f.Write(w.buf); err != nil {
+		w.failed = err
+		return 0, err
+	}
+	w.segSize += int64(len(w.buf))
+	w.nextLSN++
+	w.appends.Add(1)
+	return r.LSN, nil
+}
+
+// Commit makes every record with an LSN <= lsn durable. In group-commit
+// mode it blocks until one fsync covers lsn; concurrent committers share a
+// single fsync. In interval mode it returns immediately.
+func (w *WAL) Commit(lsn uint64) error {
+	if w.opt.SyncInterval > 0 {
+		return nil
+	}
+	return w.syncTo(lsn)
+}
+
+// Sync fsyncs everything appended so far, regardless of sync mode. Used
+// for records that must be durable before a dependent side effect
+// (checkpoints before the registry write, drops before the registry
+// forget).
+func (w *WAL) Sync() error {
+	w.mu.Lock()
+	target := w.nextLSN - 1
+	w.mu.Unlock()
+	return w.syncTo(target)
+}
+
+func (w *WAL) syncTo(lsn uint64) error {
+	w.scMu.Lock()
+	for w.syncedLSN < lsn && w.syncErr == nil {
+		if w.syncing {
+			w.sc.Wait()
+			continue
+		}
+		w.syncing = true
+		w.scMu.Unlock()
+
+		w.mu.Lock()
+		f := w.f
+		written := w.nextLSN - 1
+		hook := w.opt.OpHook
+		w.mu.Unlock()
+		if hook != nil {
+			hook("fsync")
+		}
+		// Rotation fsyncs a segment before retiring it, so syncing the
+		// active file covers every record up to `written`.
+		err := f.Sync()
+		w.fsyncs.Add(1)
+
+		w.scMu.Lock()
+		w.syncing = false
+		if err != nil {
+			w.syncErr = err
+		} else if written > w.syncedLSN {
+			w.syncedLSN = written
+		}
+		w.sc.Broadcast()
+	}
+	err := w.syncErr
+	w.scMu.Unlock()
+	return err
+}
+
+func (w *WAL) syncLoop() {
+	defer close(w.done)
+	t := time.NewTicker(w.opt.SyncInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-w.stop:
+			return
+		case <-t.C:
+			if err := w.Sync(); err != nil && w.opt.Logger != nil {
+				w.opt.Logger.Printf("wal: interval sync: %v", err)
+			}
+		}
+	}
+}
+
+// TrimTo deletes closed segments whose every record has an LSN <= lsn. The
+// active segment is never deleted (it is reclaimed after rotation). Returns
+// the number of segments removed.
+func (w *WAL) TrimTo(lsn uint64) int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	removed := 0
+	keep := w.segments[:0]
+	for _, seg := range w.segments {
+		if seg.last <= lsn && seg.last != 0 {
+			if hook := w.opt.OpHook; hook != nil {
+				hook("trim")
+			}
+			if err := os.Remove(seg.path); err != nil && w.opt.Logger != nil {
+				w.opt.Logger.Printf("wal: trim %s: %v", filepath.Base(seg.path), err)
+			}
+			removed++
+			continue
+		}
+		keep = append(keep, seg)
+	}
+	w.segments = keep
+	if removed > 0 {
+		w.syncDir()
+	}
+	return removed
+}
+
+// LastLSN returns the highest LSN appended so far (0 when empty).
+func (w *WAL) LastLSN() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.nextLSN - 1
+}
+
+// Appends returns the number of records appended since Open.
+func (w *WAL) Appends() int64 { return w.appends.Load() }
+
+// Fsyncs returns the number of fsyncs issued since Open.
+func (w *WAL) Fsyncs() int64 { return w.fsyncs.Load() }
+
+// Close makes the log durable and closes it. Further Appends fail.
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return nil
+	}
+	w.closed = true
+	w.mu.Unlock()
+	if w.stop != nil {
+		close(w.stop)
+		<-w.done
+	}
+	err := w.Sync()
+	w.mu.Lock()
+	cerr := w.f.Close()
+	w.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return cerr
+}
+
+// syncDir fsyncs the log directory so segment creation and removal survive
+// a crash. Best effort: some platforms reject directory fsync.
+func (w *WAL) syncDir() {
+	if d, err := os.Open(w.opt.Dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+}

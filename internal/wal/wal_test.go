@@ -1,0 +1,352 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"knncost/internal/geom"
+)
+
+func testRecords(n int) []Record {
+	recs := make([]Record, 0, n)
+	for i := 0; i < n; i++ {
+		switch i % 4 {
+		case 0, 1:
+			recs = append(recs, Record{Kind: KindAppend, Relation: "roads", Points: []geom.Point{{X: float64(i), Y: float64(i) * 0.5}, {X: -1, Y: 2}}})
+		case 2:
+			recs = append(recs, Record{Kind: KindDelete, Relation: "pois", Points: []geom.Point{{X: float64(i), Y: 9}}})
+		case 3:
+			recs = append(recs, Record{Kind: KindCheckpoint, Relation: "roads", Covered: uint64(i), Fingerprint: fmt.Sprintf("fp-%04d", i)})
+		}
+	}
+	return recs
+}
+
+func appendAll(t *testing.T, w *WAL, recs []Record) []uint64 {
+	t.Helper()
+	lsns := make([]uint64, len(recs))
+	for i, r := range recs {
+		lsn, err := w.Append(r)
+		if err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+		lsns[i] = lsn
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatalf("sync: %v", err)
+	}
+	return lsns
+}
+
+func TestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	w, rep, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Records) != 0 || rep.TruncatedTails != 0 {
+		t.Fatalf("fresh log replayed %+v", rep)
+	}
+	want := testRecords(13)
+	lsns := appendAll(t, w, want)
+	for i, lsn := range lsns {
+		if lsn != uint64(i+1) {
+			t.Fatalf("lsn[%d] = %d, want %d", i, lsn, i+1)
+		}
+	}
+	if got := w.LastLSN(); got != uint64(len(want)) {
+		t.Fatalf("LastLSN = %d, want %d", got, len(want))
+	}
+	if w.Appends() != int64(len(want)) || w.Fsyncs() == 0 {
+		t.Fatalf("counters appends=%d fsyncs=%d", w.Appends(), w.Fsyncs())
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Append(Record{Kind: KindDrop, Relation: "x"}); err == nil {
+		t.Fatal("append after close succeeded")
+	}
+
+	w2, rep2, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if rep2.TruncatedTails != 0 || rep2.DroppedSegments != 0 {
+		t.Fatalf("clean reopen reported corruption: %+v", rep2)
+	}
+	if len(rep2.Records) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(rep2.Records), len(want))
+	}
+	for i, got := range rep2.Records {
+		exp := want[i]
+		exp.LSN = uint64(i + 1)
+		if !reflect.DeepEqual(got, exp) {
+			t.Fatalf("record %d = %+v, want %+v", i, got, exp)
+		}
+	}
+	// Appending after reopen continues the LSN sequence.
+	lsn, err := w2.Append(Record{Kind: KindDrop, Relation: "roads"})
+	if err != nil || lsn != uint64(len(want)+1) {
+		t.Fatalf("append after reopen: lsn=%d err=%v", lsn, err)
+	}
+}
+
+func TestRotationAndTrim(t *testing.T) {
+	dir := t.TempDir()
+	w, _, err := Open(Options{Dir: dir, SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := testRecords(40)
+	appendAll(t, w, want)
+	segs, _ := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+	if len(segs) < 3 {
+		t.Fatalf("expected rotation to produce several segments, got %d", len(segs))
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	w2, rep, err := Open(Options{Dir: dir, SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Records) != len(want) || rep.TruncatedTails != 0 {
+		t.Fatalf("reopen across segments: %d records, %d truncated", len(rep.Records), rep.TruncatedTails)
+	}
+	// Trim everything but the tail: only segments fully covered go away.
+	cut := rep.Records[len(rep.Records)-3].LSN
+	if removed := w2.TrimTo(cut); removed == 0 {
+		t.Fatal("TrimTo removed nothing")
+	}
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	w3, rep3, err := Open(Options{Dir: dir, SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w3.Close()
+	if rep3.TruncatedTails != 0 {
+		t.Fatalf("trimmed log reported truncation: %+v", rep3)
+	}
+	if len(rep3.Records) == 0 || rep3.Records[len(rep3.Records)-1].LSN != uint64(len(want)) {
+		t.Fatalf("trimmed log lost the tail: %d records", len(rep3.Records))
+	}
+	for _, r := range rep3.Records[1:] {
+		// Survivors must still be contiguous.
+		if r.LSN == 0 {
+			t.Fatal("zero LSN after trim")
+		}
+	}
+}
+
+func TestTornTailTruncation(t *testing.T) {
+	dir := t.TempDir()
+	w, _, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := testRecords(9)
+	appendAll(t, w, want)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, _ := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+	if len(segs) != 1 {
+		t.Fatalf("segments: %v", segs)
+	}
+	data, err := os.ReadFile(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tear the last record in half.
+	if err := os.WriteFile(segs[0], data[:len(data)-7], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	w2, rep, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TruncatedTails != 1 {
+		t.Fatalf("TruncatedTails = %d, want 1", rep.TruncatedTails)
+	}
+	if len(rep.Records) != len(want)-1 {
+		t.Fatalf("recovered %d records, want %d", len(rep.Records), len(want)-1)
+	}
+	// The log must keep working past the truncation: the torn record's LSN
+	// is reused by the next append.
+	lsn, err := w2.Append(Record{Kind: KindDrop, Relation: "roads"})
+	if err != nil || lsn != uint64(len(want)) {
+		t.Fatalf("append after truncation: lsn=%d err=%v", lsn, err)
+	}
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// A second reopen must be clean: the repair is persistent.
+	w3, rep3, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w3.Close()
+	if rep3.TruncatedTails != 0 || len(rep3.Records) != len(want) {
+		t.Fatalf("repair not persistent: %+v (%d records)", rep3, len(rep3.Records))
+	}
+}
+
+func TestCorruptMiddleSegmentDropsTail(t *testing.T) {
+	dir := t.TempDir()
+	w, _, err := Open(Options{Dir: dir, SegmentBytes: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, w, testRecords(40))
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, _ := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+	sortAndCheck := func() {
+		if len(segs) < 3 {
+			t.Fatalf("need >= 3 segments, got %d", len(segs))
+		}
+	}
+	sortAndCheck()
+	// Flip a byte in the middle of the second segment.
+	data, err := os.ReadFile(segs[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x40
+	if err := os.WriteFile(segs[1], data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	w2, rep, err := Open(Options{Dir: dir, SegmentBytes: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if rep.TruncatedTails != 1 {
+		t.Fatalf("TruncatedTails = %d, want 1", rep.TruncatedTails)
+	}
+	if rep.DroppedSegments == 0 {
+		t.Fatal("segments after the corrupt one must be dropped")
+	}
+	// Whatever survived must be a contiguous prefix starting at LSN 1.
+	for i, r := range rep.Records {
+		if r.LSN != uint64(i+1) {
+			t.Fatalf("record %d has LSN %d", i, r.LSN)
+		}
+	}
+	left, _ := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+	if len(left) >= len(segs) {
+		t.Fatalf("dropped segments still on disk: %v", left)
+	}
+}
+
+func TestGroupCommitConcurrent(t *testing.T) {
+	dir := t.TempDir()
+	w, _, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers, per = 8, 25
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				lsn, err := w.Append(Record{Kind: KindAppend, Relation: "r", Points: []geom.Point{{X: float64(g), Y: float64(i)}}})
+				if err == nil {
+					err = w.Commit(lsn)
+				}
+				if err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if w.Appends() != workers*per {
+		t.Fatalf("appends = %d", w.Appends())
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, rep, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Records) != workers*per {
+		t.Fatalf("replayed %d, want %d", len(rep.Records), workers*per)
+	}
+}
+
+func TestIntervalSyncMode(t *testing.T) {
+	dir := t.TempDir()
+	w, _, err := Open(Options{Dir: dir, SyncInterval: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lsn, err := w.Append(Record{Kind: KindDrop, Relation: "r"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Commit is a no-op in interval mode; the background syncer catches up.
+	if err := w.Commit(lsn); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for w.Fsyncs() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("interval syncer never ran")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpHookSplitsWrites(t *testing.T) {
+	dir := t.TempDir()
+	var ops []string
+	w, _, err := Open(Options{Dir: dir, OpHook: func(op string) { ops = append(ops, op) }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lsn, err := w.Append(Record{Kind: KindAppend, Relation: "r", Points: []geom.Point{{X: 1, Y: 2}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Commit(lsn); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	wantPrefix := []string{"append", "append-mid", "fsync"}
+	if len(ops) < len(wantPrefix) {
+		t.Fatalf("ops = %v", ops)
+	}
+	for i, op := range wantPrefix {
+		if ops[i] != op {
+			t.Fatalf("ops = %v, want prefix %v", ops, wantPrefix)
+		}
+	}
+}

@@ -11,16 +11,21 @@ cd "$(dirname "$0")/.."
 go vet ./...
 sh scripts/lint.sh
 go test ./...
-go test -race ./internal/core/... ./internal/engine/... ./internal/store/... ./internal/service/... ./internal/faultinject/... ./internal/oracle/... ./internal/shard/... ./cmd/knncostd/...
+go test -race ./internal/core/... ./internal/engine/... ./internal/wal/... ./internal/store/... ./internal/service/... ./internal/faultinject/... ./internal/oracle/... ./internal/shard/... ./cmd/knncostd/...
 go test -run xxx -bench 'BenchmarkEstimateSelectHot|BenchmarkStaircaseBuildAlloc|BenchmarkFig13SelectPreprocessCC' -benchtime 1x .
 
 # Coverage floors: per-package statement coverage, internal/engine >= 85%,
-# internal/shard >= 78%.
+# internal/shard >= 78%, internal/wal >= 80%.
 sh scripts/cover.sh
 
 # Sharded-tier smoke: three shard daemons + router, a routed registration,
 # and a rebalance that must heal via a zero-build warm restore.
 sh scripts/soak.sh shard
+
+# Crash-recovery smoke: stream appends into a live daemon, kill -9 it
+# mid-ingest, restart over the same cache, and require the WAL replay to
+# converge bit-exact with a from-scratch registration of the same points.
+sh scripts/soak.sh ingest
 
 # Estimator-accuracy gate: exact invariants must hold and q-error quantiles
 # must stay within 10% of the checked-in golden baseline.

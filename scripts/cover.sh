@@ -1,8 +1,9 @@
 #!/bin/sh
 # Coverage gate: print per-package statement coverage and fail when a
 # floored package drops below its floor — internal/engine (the technique
-# registry and relation engine every layer rests on) and internal/shard
-# (the scatter-gather routing tier).
+# registry and relation engine every layer rests on), internal/shard (the
+# scatter-gather routing tier), and internal/wal (the crash-safety
+# foundation of streaming ingest).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -42,3 +43,4 @@ check_floor() {
 
 check_floor knncost/internal/engine 85.0
 check_floor knncost/internal/shard 78.0
+check_floor knncost/internal/wal 80.0

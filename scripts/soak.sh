@@ -15,16 +15,24 @@
 # restarted over a four-shard peer list) that must heal via a warm restore —
 # the new owner serves the relation bit-exact with zero catalog builds.
 #
-# Usage: soak.sh [all|shard]  — `shard` runs only the third phase (the
-# smoke tier of scripts/check.sh uses this).
+# A fourth phase smokes streaming-ingest crash recovery: stream point
+# appends into a live daemon with compaction disabled (so the WAL is the
+# mutations' only durable home), kill -9 it mid-ingest, restart over the
+# same cache directory, and require the replayed relation to compact into
+# estimates bit-identical to a from-scratch registration of its logical
+# point dump.
+#
+# Usage: soak.sh [all|shard|ingest]  — `shard` runs only the third phase
+# and `ingest` only the fourth (the smoke tier of scripts/check.sh uses
+# these).
 set -eu
 
 cd "$(dirname "$0")/.."
 
 PHASE="${1:-all}"
 case "$PHASE" in
-  all|shard) ;;
-  *) echo "soak: unknown phase $PHASE (want all or shard)"; exit 2 ;;
+  all|shard|ingest) ;;
+  *) echo "soak: unknown phase $PHASE (want all, shard, or ingest)"; exit 2 ;;
 esac
 
 DRAIN=10
@@ -34,7 +42,9 @@ LOG="$TMPDIR/knncostd-soak-$$.log"
 OUT="$TMPDIR/knncostd-soak-$$.out"
 CACHE="$TMPDIR/knncostd-soak-$$.cache"
 SCACHE="$TMPDIR/knncostd-soak-$$.shardcache"
-trap 'rm -rf "$BIN" "$LOG" "$LOG".* "$OUT" "$OUT".* "$CACHE" "$SCACHE"; kill $(jobs -p) 2>/dev/null || true' EXIT
+ICACHE="$TMPDIR/knncostd-soak-$$.ingestcache"
+ACKS="$TMPDIR/knncostd-soak-$$.acks"
+trap 'rm -rf "$BIN" "$LOG" "$LOG".* "$OUT" "$OUT".* "$CACHE" "$SCACHE" "$ICACHE" "$ACKS"; kill $(jobs -p) 2>/dev/null || true' EXIT
 
 go build -o "$BIN" ./cmd/knncostd
 
@@ -165,6 +175,8 @@ echo "soak: warm restart OK (builds=0, estimate identical: $WARM_EST)"
 
 fi # PHASE = all
 
+if [ "$PHASE" = all ] || [ "$PHASE" = shard ]; then
+
 # --- sharded scatter-gather smoke --------------------------------------------
 
 # Three shard daemons over one shared artifact cache, a router in front,
@@ -274,3 +286,126 @@ for id in s1 s2 s3 s4; do
   kill -TERM "$P"; wait "$P" || { echo "soak: shard $id exited dirty"; cat "$LOG.$id"; exit 1; }
 done
 echo "soak: sharded tier OK"
+
+fi # PHASE = all|shard
+
+if [ "$PHASE" = all ] || [ "$PHASE" = ingest ]; then
+
+# --- streaming-ingest crash-recovery smoke -----------------------------------
+
+# Boot with compaction disabled so every acked mutation lives only in the
+# write-ahead log — the kill -9 then leaves the WAL as the sole witness.
+start_ingest() {
+  : >"$OUT.i"
+  # shellcheck disable=SC2086
+  "$BIN" -addr 127.0.0.1:0 -relations none \
+    -capacity 128 -maxk 100 -sample 50 -grid 6 \
+    -cache-dir "$ICACHE" -drain-timeout "${DRAIN}s" -access-log=false \
+    $1 >"$OUT.i" 2>"$LOG.i" &
+  IPID=$!
+  IADDR=
+  for i in $(seq 1 100); do
+    IADDR=$(sed -n 's/^knncostd listening on //p' "$OUT.i" | head -n1)
+    [ -n "$IADDR" ] && break
+    sleep 0.1
+  done
+  [ -n "$IADDR" ] || { echo "soak: ingest daemon never printed its address"; cat "$LOG.i"; exit 1; }
+  IBASE="http://$IADDR"
+  for i in $(seq 1 300); do
+    if curl -fsS "$IBASE/readyz" >/dev/null 2>&1; then return 0; fi
+    sleep 0.1
+  done
+  echo "soak: ingest daemon never became ready"; cat "$LOG.i"; exit 1
+}
+
+wait_feed() {
+  for i in $(seq 1 300); do
+    if curl -fsS "$IBASE/relations/$1/status" 2>/dev/null | grep -q '"state":"ready"'; then return 0; fi
+    sleep 0.1
+  done
+  echo "soak: relation $1 never became ready on the ingest daemon"; exit 1
+}
+
+start_ingest "-compact-threshold 1000000 -compact-interval=-1s"
+echo "soak: ingest daemon pid=$IPID addr=$IADDR"
+
+FEED_POINTS=$(awk 'BEGIN{
+  printf "[";
+  for (i = 0; i < 300; i++) {
+    a = i * 0.41; r = 1 + i * 0.09;
+    printf "%s[%.6f,%.6f]", (i ? "," : ""), r * cos(a), r * sin(a) / 2;
+  }
+  printf "]";
+}')
+curl -fsS -X POST -H 'Content-Type: application/json' \
+  -d "{\"name\":\"feed\",\"points\":$FEED_POINTS}" \
+  "$IBASE/relations" >/dev/null || { echo "soak: feed registration failed"; exit 1; }
+wait_feed feed
+
+# Stream appends from the background; each acked batch is WAL-durable by the
+# time curl returns, so everything counted in $ACKS must survive the crash.
+: >"$ACKS"
+(
+  n=0
+  while curl -fsS -X POST -H 'Content-Type: application/json' \
+      -d "{\"points\":[[$n.25,3.5],[$n.75,7.25]]}" \
+      "$IBASE/relations/feed/points" >/dev/null 2>&1; do
+    n=$((n + 1))
+    echo "$n" >"$ACKS"
+  done
+) &
+APID=$!
+
+for i in $(seq 1 300); do
+  [ -s "$ACKS" ] && [ "$(cat "$ACKS")" -ge 5 ] && break
+  sleep 0.1
+done
+ACKED=$(cat "$ACKS" 2>/dev/null || echo 0)
+[ "$ACKED" -ge 5 ] || { echo "soak: only $ACKED appends acked before timeout"; exit 1; }
+
+# The crash: no drain, no fsync courtesy — the process dies mid-ingest.
+kill -9 "$IPID"
+wait "$IPID" 2>/dev/null || true
+wait "$APID" 2>/dev/null || true
+echo "soak: killed -9 after $ACKED acked appends"
+
+# Restart over the same cache with compaction enabled: the WAL must replay
+# every acked mutation and the compactor must fold them in.
+start_ingest "-compact-threshold 5 -compact-interval 50ms"
+echo "soak: recovery daemon pid=$IPID addr=$IADDR"
+wait_feed feed
+
+REPLAYED=$(curl -fsS "$IBASE/debug/vars" | sed -n 's/.*"knncost_wal_replayed": *\([0-9][0-9]*\).*/\1/p')
+[ "${REPLAYED:-0}" -ge "$ACKED" ] || { echo "soak: replayed ${REPLAYED:-0} WAL records, acked $ACKED"; exit 1; }
+
+# Wait for the replayed deltas to drain into the snapshot (delta_ops is
+# omitted from the status once zero).
+for i in $(seq 1 300); do
+  if ! curl -fsS "$IBASE/relations/feed/status" | grep -q '"delta_ops"'; then DRAINED=1; break; fi
+  sleep 0.1
+done
+[ -n "${DRAINED:-}" ] || { echo "soak: replayed deltas never compacted"; exit 1; }
+COMPACTIONS=$(curl -fsS "$IBASE/debug/vars" | sed -n 's/.*"knncost_compactions": *\([0-9][0-9]*\).*/\1/p')
+[ "${COMPACTIONS:-0}" -ge 1 ] || { echo "soak: no compaction counted after replay"; exit 1; }
+
+# Bit-exact convergence: re-register the recovered logical point sequence
+# from scratch and require identical estimates on every probe.
+curl -fsS "$IBASE/relations/feed/points" \
+  | sed 's/"name":"feed"/"name":"scratch"/' \
+  | curl -fsS -X POST -H 'Content-Type: application/json' -d @- "$IBASE/relations" >/dev/null \
+  || { echo "soak: scratch re-registration failed"; exit 1; }
+wait_feed scratch
+for Q in "x=3&y=1&k=25" "x=-5&y=2&k=7" "x=12.5&y=-4&k=60"; do
+  FEED_EST=$(curl -fsS "$IBASE/estimate/select?rel=feed&$Q" | sed -n 's/.*"blocks":\([0-9.e+-]*\).*/\1/p')
+  SCRATCH_EST=$(curl -fsS "$IBASE/estimate/select?rel=scratch&$Q" | sed -n 's/.*"blocks":\([0-9.e+-]*\).*/\1/p')
+  [ -n "$FEED_EST" ] || { echo "soak: recovered estimate malformed for $Q"; exit 1; }
+  if [ "$FEED_EST" != "$SCRATCH_EST" ]; then
+    echo "soak: recovery not bit-exact for $Q: feed $FEED_EST != scratch $SCRATCH_EST"; exit 1
+  fi
+done
+echo "soak: crash recovery OK (replayed=$REPLAYED, compactions=$COMPACTIONS, estimates identical)"
+
+kill -TERM "$IPID"; wait "$IPID" || { echo "soak: recovery daemon exited dirty"; cat "$LOG.i"; exit 1; }
+echo "soak: ingest tier OK"
+
+fi # PHASE = all|ingest
