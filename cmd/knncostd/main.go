@@ -195,7 +195,7 @@ func run(args []string, stdout io.Writer) int {
 			addr: *addr, peers: *peers, replicas: *replicas,
 			hedgeAfter: *hedgeAfter, hedgePercentile: *hedgePercentile,
 			attemptTimeout: *attemptTimeout, breakerFailures: *breakerFailures,
-			breakerBackoff: *breakerBackoff,
+			breakerBackoff:   *breakerBackoff,
 			estimateDeadline: *estimateDeadline, costDeadline: *costDeadline,
 			adminDeadline: *adminDeadline, maxInFlight: *maxInFlight,
 			queueLen: *queueLen, retryAfter: *retryAfter, drain: *drain,

@@ -495,7 +495,7 @@ func (rt *Router) routedDo(ctx context.Context, reps []*replica, req proxyReq) p
 		if !ok || res.rep == nil {
 			return res
 		}
-		if err := rt.mirror(ctx, res.rep, name); err != nil {
+		if err := rt.mirror(ctx, res.rep, name, nil); err != nil {
 			rt.opt.logger().Printf("shard: mirroring %q to %s: %v", name, res.rep.id, err)
 			return res
 		}
@@ -510,21 +510,35 @@ func (rt *Router) routedDo(ctx context.Context, reps []*replica, req proxyReq) p
 // warm-restores from a shared cache) catalogs bit-identical to the
 // source's. Concurrent mirrors of the same relation to the same shard are
 // collapsed into one.
-func (rt *Router) mirror(ctx context.Context, target *replica, name string) error {
+// mirror copies relation name onto target. With a nil source the points are
+// fetched from whichever peer has them (read-path healing after a rebalance).
+// A non-nil source pins the fetch to that replica and fails if it cannot
+// serve: mutation-path heals rely on the dump including a write the source
+// just applied, so falling back to an arbitrary peer could silently drop it.
+func (rt *Router) mirror(ctx context.Context, target *replica, name string, source *replica) error {
 	key := target.id + "/" + name
-	rt.mirrorMu.Lock()
-	if ch, ok := rt.mirrors[key]; ok {
-		rt.mirrorMu.Unlock()
-		select {
-		case <-ch: // the other mirror finished; the caller's retry observes the outcome
-			return nil
-		case <-ctx.Done():
-			return ctx.Err()
+	var ch chan struct{}
+	for ch == nil {
+		rt.mirrorMu.Lock()
+		if inflight, ok := rt.mirrors[key]; ok {
+			rt.mirrorMu.Unlock()
+			select {
+			case <-inflight:
+				if source == nil {
+					return nil // the other mirror finished; the caller's retry observes the outcome
+				}
+				// A source-pinned heal needs a dump taken after its write
+				// landed on the source; the mirror that just finished may
+				// predate it, so loop and run our own.
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+			continue
 		}
+		ch = make(chan struct{})
+		rt.mirrors[key] = ch
+		rt.mirrorMu.Unlock()
 	}
-	ch := make(chan struct{})
-	rt.mirrors[key] = ch
-	rt.mirrorMu.Unlock()
 	defer func() {
 		rt.mirrorMu.Lock()
 		delete(rt.mirrors, key)
@@ -534,7 +548,7 @@ func (rt *Router) mirror(ctx context.Context, target *replica, name string) erro
 
 	mctx, cancel := context.WithTimeout(ctx, rt.opt.MirrorTimeout)
 	defer cancel()
-	body, err := rt.fetchPoints(mctx, target, name)
+	body, err := rt.fetchPoints(mctx, target, name, source)
 	if err != nil {
 		return err
 	}
@@ -558,22 +572,28 @@ func (rt *Router) mirror(ctx context.Context, target *replica, name string) erro
 }
 
 // fetchPoints finds a peer that has the relation's points and returns the
-// dump. Ring owners are probed first (they normally have it), then every
-// other shard — after a rebalance the old owner is usually not an owner
-// anymore.
-func (rt *Router) fetchPoints(ctx context.Context, target *replica, name string) ([]byte, error) {
-	probed := map[string]bool{target.id: true}
+// dump. With a nil source, ring owners are probed first (they normally have
+// it), then every other shard — after a rebalance the old owner is usually
+// not an owner anymore. A non-nil source is probed exclusively: the caller
+// needs that specific replica's logical points, and any other peer's dump
+// could be stale.
+func (rt *Router) fetchPoints(ctx context.Context, target *replica, name string, source *replica) ([]byte, error) {
 	var order []*replica
-	for _, rep := range rt.ownersFor(name) {
-		if !probed[rep.id] {
-			probed[rep.id] = true
-			order = append(order, rep)
+	if source != nil {
+		order = []*replica{source}
+	} else {
+		probed := map[string]bool{target.id: true}
+		for _, rep := range rt.ownersFor(name) {
+			if !probed[rep.id] {
+				probed[rep.id] = true
+				order = append(order, rep)
+			}
 		}
-	}
-	for _, rep := range rt.allReplicas() {
-		if !probed[rep.id] {
-			probed[rep.id] = true
-			order = append(order, rep)
+		for _, rep := range rt.allReplicas() {
+			if !probed[rep.id] {
+				probed[rep.id] = true
+				order = append(order, rep)
+			}
 		}
 	}
 	var lastErr error = fmt.Errorf("no peer has relation %q", name)
@@ -918,7 +938,9 @@ func (rt *Router) handleMutatePoints(w http.ResponseWriter, r *http.Request) {
 	}
 	res := rt.attempt(r.Context(), owners[0], req)
 	if mutationUnknown(res) {
-		if merr := rt.mirror(r.Context(), owners[0], name); merr != nil {
+		// The write has not applied anywhere yet, so any peer's dump is a
+		// valid base — the retry below applies the mutation on top of it.
+		if merr := rt.mirror(r.Context(), owners[0], name, nil); merr != nil {
 			rt.opt.logger().Printf("shard: mirroring %q to primary %s: %v", name, owners[0].id, merr)
 			writeProxied(w, res)
 			return
@@ -936,10 +958,13 @@ func (rt *Router) handleMutatePoints(w http.ResponseWriter, r *http.Request) {
 			defer wg.Done()
 			sres := rt.attempt(r.Context(), rep, req)
 			if mutationUnknown(sres) {
-				// The mirror fetches the primary's logical points, which
-				// include this mutation: healing IS the apply here.
-				if merr := rt.mirror(r.Context(), rep, name); merr != nil {
-					rt.opt.logger().Printf("shard: mirroring %q to %s: %v", name, rep.id, merr)
+				// Healing IS the apply here, so the fetch is pinned to the
+				// primary — the one replica whose logical points are known
+				// to include this mutation. A fallback peer's dump might
+				// predate the write and silently drop it; failing leaves
+				// the replica unknown, which the next heal re-converges.
+				if merr := rt.mirror(r.Context(), rep, name, owners[0]); merr != nil {
+					rt.opt.logger().Printf("shard: mirroring %q to %s from primary: %v", name, rep.id, merr)
 				}
 				return
 			}

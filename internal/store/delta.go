@@ -111,6 +111,11 @@ func pendingPoints(e *entry) int {
 // unchanged until compaction folds the delta in, bounded by
 // CompactThreshold points or one CompactInterval, whichever comes first.
 // The caller must not modify pts afterwards.
+//
+// An error from a failed WAL commit means the durability of the mutation is
+// UNKNOWN: it is rolled back from the in-memory overlay when possible, but
+// the log record may have reached disk and replay after a crash. Callers
+// must reconcile (re-read and diff) rather than blindly retry the append.
 func (s *Store) Append(name string, pts []geom.Point) (RelationStatus, error) {
 	return s.mutate(wal.KindAppend, name, pts)
 }
@@ -174,10 +179,45 @@ func (s *Store) mutate(kind wal.Kind, name string, pts []geom.Point) (RelationSt
 	s.mu.Unlock()
 	if s.wal != nil {
 		if err := s.wal.Commit(lsn); err != nil {
-			return st, fmt.Errorf("store: mutation of %q not durable: %w", name, err)
+			// The fsync failed, so the caller must be told the write is not
+			// durable — but the delta is already buffered and would still
+			// compact into the published snapshot, double-applying if the
+			// caller retries. Unbuffer it when no compaction has captured
+			// it yet. The outcome stays ambiguous either way: the WAL
+			// record may have reached disk, in which case a crash replays
+			// it — callers must treat this error as "unknown", not "not
+			// applied", and reconcile rather than blindly retry.
+			if s.rollbackMutation(name, lsn) {
+				return RelationStatus{}, fmt.Errorf("store: mutation of %q not durable (rolled back; may reappear if the log record survives a crash): %w", name, err)
+			}
+			return st, fmt.Errorf("store: mutation of %q not durable (already compacting; may double-apply on retry): %w", name, err)
 		}
 	}
 	return st, nil
+}
+
+// rollbackMutation removes the pending mutation with the given LSN, if it is
+// still in the overlay and no scheduled or published fold covers it. It
+// reports whether the mutation was removed — false means a compaction
+// already captured it and the fold cannot be undone.
+func (s *Store) rollbackMutation(name string, lsn uint64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e := s.entries[name]
+	if e == nil {
+		return true // dropped concurrently; nothing left to apply
+	}
+	if lsn <= e.ckptLSN {
+		return false // a fold covering this LSN is queued, building, or published
+	}
+	for i, m := range e.pending {
+		if m.lsn == lsn {
+			e.pending = append(e.pending[:i], e.pending[i+1:]...)
+			s.republishLocked()
+			return true
+		}
+	}
+	return false
 }
 
 // LogicalPoints returns the relation's current logical point sequence: the
@@ -206,6 +246,9 @@ func (s *Store) LogicalPoints(name string) ([]geom.Point, error) {
 func (s *Store) Flush(name string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
 	e := s.entries[name]
 	if e == nil {
 		return fmt.Errorf("%w: %q", ErrUnknownRelation, name)
@@ -232,6 +275,10 @@ func (s *Store) WaitSettled(ctx context.Context, names ...string) error {
 		done := true
 		var failed error
 		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			return ErrClosed
+		}
 		for _, name := range names {
 			e := s.entries[name]
 			if e == nil {

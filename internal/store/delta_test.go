@@ -451,3 +451,98 @@ func TestMutateValidation(t *testing.T) {
 		t.Fatalf("rejected mutations left deltas behind: %+v", st)
 	}
 }
+
+// TestCloseWithInFlightCompaction pins the shutdown race: Close marks the
+// store closed and closes the build-signal channel while a compaction build
+// is still in flight; when that build lands with more deltas pending, runJob
+// re-triggers compaction — which must refuse to enqueue instead of sending
+// on the closed channel (a panic before the fix). Flush and WaitSettled on a
+// closed store must likewise return ErrClosed rather than reaching the
+// channel or spinning forever.
+func TestCloseWithInFlightCompaction(t *testing.T) {
+	for i := 0; i < 3; i++ {
+		opt := testOptions(t)
+		opt.CompactThreshold = 1 << 30 // compaction only via explicit Flush
+		s := newTestStore(t, opt)
+		if _, err := s.Register("live", gridPoints(20000, int64(i))); err != nil {
+			t.Fatal(err)
+		}
+		settle(t, s, "live")
+		if _, err := s.Append("live", gridPoints(4, 100+int64(i))); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Flush("live"); err != nil { // compaction build starts
+			t.Fatalf("Flush: %v", err)
+		}
+		// Wait until a worker has actually picked the build up: Close must
+		// land while the build is in flight for the landing build to take
+		// the re-compaction path on a closed store.
+		for deadline := time.Now().Add(10 * time.Second); ; {
+			s.mu.Lock()
+			state := s.entries["live"].state
+			s.mu.Unlock()
+			if state == StateBuilding {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatal("compaction build never started")
+			}
+			time.Sleep(100 * time.Microsecond)
+		}
+		// New deltas arrive while the build runs, so the landing build sees
+		// a non-empty overlay and takes the re-compaction path under Close.
+		if _, err := s.Append("live", gridPoints(4, 200+int64(i))); err != nil {
+			t.Fatal(err)
+		}
+		closeStore(t, s)
+		if err := s.Flush("live"); !errors.Is(err, ErrClosed) {
+			t.Fatalf("Flush after Close: %v, want ErrClosed", err)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		err := s.WaitSettled(ctx, "live")
+		cancel()
+		if !errors.Is(err, ErrClosed) {
+			t.Fatalf("WaitSettled after Close: %v, want ErrClosed", err)
+		}
+	}
+}
+
+// TestRollbackMutationUncapturedDelta pins the failed-commit rollback
+// helper: a pending mutation no fold covers is removed from the overlay,
+// one a compaction already captured is not.
+func TestRollbackMutationUncapturedDelta(t *testing.T) {
+	opt := testOptions(t)
+	opt.CompactThreshold = 1 << 30
+	s := newTestStore(t, opt)
+	if _, err := s.Register("live", gridPoints(500, 1)); err != nil {
+		t.Fatal(err)
+	}
+	settle(t, s, "live")
+	lastPendingLSN := func() uint64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		pending := s.entries["live"].pending
+		return pending[len(pending)-1].lsn
+	}
+	if _, err := s.Append("live", gridPoints(3, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if !s.rollbackMutation("live", lastPendingLSN()) {
+		t.Fatal("uncaptured mutation not rolled back")
+	}
+	if lp, err := s.LogicalPoints("live"); err != nil || len(lp) != 500 {
+		t.Fatalf("overlay after rollback: %d points, err %v", len(lp), err)
+	}
+	// Once a compaction captures the delta, rollback must refuse.
+	if _, err := s.Append("live", gridPoints(3, 3)); err != nil {
+		t.Fatal(err)
+	}
+	captured := lastPendingLSN()
+	if err := s.Flush("live"); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	if s.rollbackMutation("live", captured) {
+		t.Fatal("rolled back a mutation a scheduled fold already covers")
+	}
+	settle(t, s, "live")
+}

@@ -523,6 +523,12 @@ func (s *Store) submit(name string, pts []geom.Point, tree *index.Tree) (Relatio
 // build signal is queued, superseding any in-flight build. On ErrQueueFull
 // the entry is untouched. Caller holds s.mu.
 func (s *Store) enqueueLocked(e *entry, pts []geom.Point, tree *index.Tree) error {
+	// Close sets s.closed and closes s.jobs under the same lock, so this
+	// check is what keeps late enqueues — a finishing build's follow-up
+	// compaction, a racing Flush — from sending on the closed channel.
+	if s.closed {
+		return ErrClosed
+	}
 	if e.state != StateQueued {
 		// Reserve the queue slot before mutating anything, so a saturated
 		// queue leaves the store untouched.

@@ -150,7 +150,10 @@ func decodePayload(p []byte) (Record, error) {
 			return r, errBadPayload
 		}
 		p = p[n:]
-		if uint64(len(p)) != count*16 {
+		// Bound count before multiplying: a crafted varint near 2^64 would
+		// make count*16 wrap and pass the equality check, then panic the
+		// allocation below.
+		if count > uint64(len(p))/16 || uint64(len(p)) != count*16 {
 			return r, errBadPayload
 		}
 		r.Points = make([]geom.Point, count)

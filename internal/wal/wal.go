@@ -340,6 +340,18 @@ func (w *WAL) syncTo(lsn uint64) error {
 		// active file covers every record up to `written`.
 		err := f.Sync()
 		w.fsyncs.Add(1)
+		if err != nil {
+			// A concurrent Append may have rotated — and closed — the file
+			// between the capture above and the Sync. Rotation fsyncs the
+			// segment before closing it, so everything up to `written` is
+			// already durable; only a failure on the still-active file is a
+			// real (sticky) sync error.
+			w.mu.Lock()
+			if w.f != f {
+				err = nil
+			}
+			w.mu.Unlock()
+		}
 
 		w.scMu.Lock()
 		w.syncing = false

@@ -1,7 +1,9 @@
 package wal
 
 import (
+	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -348,5 +350,72 @@ func TestOpHookSplitsWrites(t *testing.T) {
 		if ops[i] != op {
 			t.Fatalf("ops = %v, want prefix %v", ops, wantPrefix)
 		}
+	}
+}
+
+// TestSyncDuringRotationNotSticky pins the rotation/sync race: syncTo
+// captures the active file, releases the lock, and fsyncs; a concurrent
+// Append can rotate — and close — that file in between. The failed fsync on
+// the retired file must not poison the log with a sticky sync error:
+// rotation already made the segment durable.
+func TestSyncDuringRotationNotSticky(t *testing.T) {
+	// One record per segment: the threshold is just past the magic header,
+	// so every append after the first rotates the previous record out.
+	w, _, err := Open(Options{Dir: t.TempDir(), SegmentBytes: len(segMagic) + 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := w.Sync(); err != nil {
+				t.Errorf("Sync during rotation: %v", err)
+				return
+			}
+		}
+	}()
+
+	rec := Record{Kind: KindAppend, Relation: "r", Points: []geom.Point{{X: 1, Y: 2}}}
+	for i := 0; i < 300; i++ {
+		lsn, err := w.Append(rec)
+		if err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+		if err := w.Commit(lsn); err != nil {
+			t.Fatalf("commit %d: %v", i, err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if err := w.Sync(); err != nil {
+		t.Fatalf("final sync: %v", err)
+	}
+}
+
+// TestDecodeRejectsOverflowingPointCount pins the count*16 overflow guard: a
+// CRC-valid frame whose varint point count is 2^60 makes count*16 wrap to 0,
+// which the pre-fix equality check accepted — and the subsequent allocation
+// panicked, violating the "Open never panics on corruption" invariant.
+func TestDecodeRejectsOverflowingPointCount(t *testing.T) {
+	payload := binary.AppendUvarint(nil, 1) // LSN
+	payload = append(payload, byte(KindAppend))
+	payload = binary.AppendUvarint(payload, 1)
+	payload = append(payload, 'r')
+	payload = binary.AppendUvarint(payload, 1<<60) // count*16 wraps to 0
+	frame := binary.LittleEndian.AppendUint32(nil, uint32(len(payload)))
+	frame = binary.LittleEndian.AppendUint32(frame, crc32.Checksum(payload, castagnoli))
+	frame = append(frame, payload...)
+	if _, _, err := decodeFrame(frame); err == nil {
+		t.Fatal("decodeFrame accepted a frame whose point count overflows the size check")
 	}
 }
