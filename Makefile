@@ -28,10 +28,11 @@ cover:
 # pool, delta overlays, and hot-swap publication, the HTTP batch endpoint,
 # the robustness middleware, the fault-injection harness, the daemon's
 # signal-driven drain, the oracle differential suite (which runs batches
-# against live hot-swaps), and the shard tier's scatter-gather, hedging,
-# breaker, and mirror-on-demand machinery.
+# against live hot-swaps), the shard tier's scatter-gather, hedging,
+# breaker, and mirror-on-demand machinery, and the optimizer's
+# single-flight plan cache under concurrent misses and invalidations.
 race:
-	$(GO) test -race ./internal/core/... ./internal/engine/... ./internal/wal/... ./internal/store/... ./internal/service/... ./internal/faultinject/... ./internal/oracle/... ./internal/shard/... ./cmd/knncostd/...
+	$(GO) test -race ./internal/core/... ./internal/engine/... ./internal/wal/... ./internal/store/... ./internal/optimizer/... ./internal/service/... ./internal/faultinject/... ./internal/oracle/... ./internal/shard/... ./cmd/knncostd/...
 
 # One iteration of every benchmark: catches benchmarks that panic or
 # regress to building their fixture per op, without the full measurement
@@ -43,11 +44,12 @@ bench-smoke:
 check: vet
 	$(MAKE) lint
 	$(GO) test ./...
-	$(GO) test -race ./internal/core/... ./internal/engine/... ./internal/wal/... ./internal/store/... ./internal/service/... ./internal/faultinject/... ./internal/oracle/... ./internal/shard/... ./cmd/knncostd/...
+	$(GO) test -race ./internal/core/... ./internal/engine/... ./internal/wal/... ./internal/store/... ./internal/optimizer/... ./internal/service/... ./internal/faultinject/... ./internal/oracle/... ./internal/shard/... ./cmd/knncostd/...
 	$(GO) test -run xxx -bench 'BenchmarkEstimateSelectHot|BenchmarkStaircaseBuildAlloc|BenchmarkFig13SelectPreprocessCC' -benchtime 1x .
 	$(MAKE) cover
 	sh scripts/soak.sh shard
 	sh scripts/soak.sh ingest
+	sh scripts/soak.sh plan
 	$(MAKE) accuracy
 	$(MAKE) fuzz-smoke
 

@@ -82,6 +82,7 @@ import (
 	"time"
 
 	"knncost/internal/datagen"
+	"knncost/internal/optimizer"
 	"knncost/internal/service"
 	"knncost/internal/service/middleware"
 	"knncost/internal/shard"
@@ -122,6 +123,31 @@ func publishStoreVars(st *store.Store) {
 	})
 }
 
+// plannerVars bridges the service's plan-cache counters into expvar, with
+// the same once-plus-atomic-pointer shape as storeVars.
+var (
+	plannerVarsOnce sync.Once
+	varsPlanner     atomic.Pointer[optimizer.Planner]
+)
+
+func publishPlannerVars(p *optimizer.Planner) {
+	varsPlanner.Store(p)
+	plannerVarsOnce.Do(func() {
+		counter := func(read func(*optimizer.Planner) int64) expvar.Func {
+			return func() any {
+				if p := varsPlanner.Load(); p != nil {
+					return read(p)
+				}
+				return int64(0)
+			}
+		}
+		expvar.Publish("knncost_plan_cache_hits", counter((*optimizer.Planner).Hits))
+		expvar.Publish("knncost_plan_cache_misses", counter((*optimizer.Planner).Misses))
+		expvar.Publish("knncost_plan_cache_evictions", counter((*optimizer.Planner).Evictions))
+		expvar.Publish("knncost_plan_cache_invalidations", counter((*optimizer.Planner).Invalidations))
+	})
+}
+
 // run is main with injectable args and stdout, so tests (and the soak
 // script via the printed listen address) can drive a full daemon lifecycle
 // including the signal-triggered drain. It returns the process exit code.
@@ -150,6 +176,8 @@ func run(args []string, stdout io.Writer) int {
 			"WAL group-fsync interval; 0 fsyncs on every mutation before it is acknowledged")
 		walSegmentBytes = fs.Int("wal-segment-bytes", 0,
 			"WAL segment rotation size in bytes (0 means the built-in default)")
+		planCache = fs.Int("plan-cache", 0,
+			"plan cache capacity in entries (0 means the built-in default)")
 
 		estimateDeadline = fs.Duration("deadline-estimate", 5*time.Second,
 			"per-request deadline for /estimate/* and metadata routes (0 disables)")
@@ -253,11 +281,13 @@ func run(args []string, stdout io.Writer) int {
 	}
 
 	srv := service.NewWithStore(st, service.Options{
-		MaxK:       *maxK,
-		SampleSize: *sample,
-		GridSize:   *gridSize,
-		DataDir:    *dataDir,
+		MaxK:             *maxK,
+		SampleSize:       *sample,
+		GridSize:         *gridSize,
+		DataDir:          *dataDir,
+		PlanCacheEntries: *planCache,
 	})
+	publishPlannerVars(srv.Planner())
 	wrapped, _ := middleware.Wrap(srv, middleware.Config{
 		EstimateDeadline: *estimateDeadline,
 		CostDeadline:     *costDeadline,

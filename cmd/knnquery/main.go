@@ -14,6 +14,20 @@
 // "-") holds one query as "x y k" (k optional, defaulting to -k); all
 // queries are estimated through the parallel batch API in one call.
 //
+// Plan mode prices a conjunctive multi-predicate query through the
+// cost-based optimizer and prints the EXPLAIN text — every enumerated plan
+// in ascending cost order, the chosen one starred:
+//
+//	knnquery -op plan -x 12.5 -y 41.9 -k 25 -k2 50
+//	knnquery -op plan -x 12.5 -y 41.9 -k 25 -k2 50 -selectivity 0.5
+//	knnquery -op plan -join -x 12.5 -y 41.9 -k 25 -k2 5
+//
+// Two relations are generated: "outer" (-outer points) and "inner" (-n
+// points). Without -join the query is two kNN-Selects, one per relation at
+// (-x, -y) with k=-k and k=-k2; with -join it is a kNN-Select on "outer"
+// (k=-k) plus a kNN-Join outer⋉inner (k=-k2). -selectivity models an extra
+// non-spatial filter on the driving predicate.
+//
 // -technique names one registered estimation technique (canonical name or
 // alias; "list" prints the registry) and estimates with it alone, using the
 // default catalog options; without it, select mode compares the default
@@ -23,6 +37,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -32,6 +47,8 @@ import (
 	"time"
 
 	"knncost"
+	"knncost/internal/optimizer"
+	"knncost/internal/store"
 )
 
 func main() {
@@ -48,6 +65,10 @@ func main() {
 		batch     = flag.String("batch", "", `file of "x y [k]" lines ("-" = stdin): batch select estimates`)
 		parallel  = flag.Int("parallel", 0, "batch worker count (0 = GOMAXPROCS)")
 		technique = flag.String("technique", "", `registered technique name or alias ("list" prints the registry)`)
+
+		k2          = flag.Int("k2", 10, "second predicate's k (plan mode)")
+		selectivity = flag.Float64("selectivity", 0, "non-spatial filter selectivity in (0,1]; 0 = none (plan mode)")
+		planJoin    = flag.Bool("join", false, "plan a select + kNN-Join query instead of two selects (plan mode)")
 	)
 	flag.Parse()
 
@@ -64,8 +85,10 @@ func main() {
 		runSelect(*n, *seed, *capacity, *x, *y, *k, *maxK, *technique)
 	case "join":
 		runJoin(*n, *outerN, *seed, *capacity, *k, *maxK, *technique)
+	case "plan":
+		runPlan(*n, *outerN, *seed, *capacity, *maxK, *x, *y, *k, *k2, *selectivity, *planJoin, *technique)
 	default:
-		fmt.Fprintf(os.Stderr, "knnquery: unknown -op %q (want select or join)\n", *op)
+		fmt.Fprintf(os.Stderr, "knnquery: unknown -op %q (want select, join or plan)\n", *op)
 		os.Exit(1)
 	}
 }
@@ -288,6 +311,56 @@ func runJoin(n, outerN int, seed int64, capacity, k, maxK int, technique string)
 		fatal(err)
 	}
 	fmt.Printf("virtual-grid estimate (10x10):  %10.0f blocks (%d B catalogs)\n", est, vg.StorageBytes())
+}
+
+// runPlan builds two relations in an in-process store and prices a
+// conjunctive query through the optimizer, printing the EXPLAIN text.
+func runPlan(n, outerN int, seed int64, capacity, maxK int, x, y float64, k, k2 int, selectivity float64, withJoin bool, technique string) {
+	st, err := store.New(store.Options{MaxK: maxK, IndexCapacity: capacity})
+	if err != nil {
+		fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		st.Close(ctx)
+	}()
+	start := time.Now()
+	if _, err := st.Register("outer", knncost.GenerateOSMLike(outerN, seed+1)); err != nil {
+		fatal(err)
+	}
+	if _, err := st.Register("inner", knncost.GenerateOSMLike(n, seed)); err != nil {
+		fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	if err := st.WaitReady(ctx); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("outer: %d points, inner: %d points; catalogs built in %s\n",
+		outerN, n, time.Since(start).Round(time.Millisecond))
+
+	pt := knncost.Point{X: x, Y: y}
+	q := optimizer.Query{
+		Selects:     []optimizer.SelectPredicate{{Relation: "outer", Query: pt, K: k, Technique: technique}},
+		Selectivity: selectivity,
+	}
+	if withJoin {
+		q.Join = &optimizer.JoinPredicate{Outer: "outer", Inner: "inner", K: k2}
+		fmt.Printf("planning: select outer(k=%d) + join outer⋉inner(k=%d)\n\n", k, k2)
+	} else {
+		q.Selects = append(q.Selects, optimizer.SelectPredicate{
+			Relation: "inner", Query: pt, K: k2, Technique: technique,
+		})
+		fmt.Printf("planning: select outer(k=%d) + select inner(k=%d)\n\n", k, k2)
+	}
+	start = time.Now()
+	dec, err := optimizer.PlanOnce(st.View(), q)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(dec.Explain())
+	fmt.Printf("\nplanned %d alternatives in %s\n", len(dec.Alternatives), time.Since(start).Round(time.Microsecond))
 }
 
 func maxDist(ns []knncost.Neighbor) float64 {

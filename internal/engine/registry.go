@@ -134,6 +134,26 @@ func LookupJoin(name string) (JoinTechnique, error) {
 	return copyJoinLocked(canon), nil
 }
 
+// CanonSelectName resolves a select technique name or alias to its
+// canonical registered name without copying the technique. Unlike
+// LookupSelect it performs no heap allocations for an already-lowercase
+// name, which is what lets a plan-cache lookup canonicalize its technique
+// set on the zero-allocation hit path.
+func CanonSelectName(name string) (string, bool) {
+	reg.mu.RLock()
+	canon, ok := reg.selectAlias[canonKey(name)]
+	reg.mu.RUnlock()
+	return canon, ok
+}
+
+// CanonJoinName is CanonSelectName for join techniques.
+func CanonJoinName(name string) (string, bool) {
+	reg.mu.RLock()
+	canon, ok := reg.joinAlias[canonKey(name)]
+	reg.mu.RUnlock()
+	return canon, ok
+}
+
 // SelectNames returns the sorted canonical names of the registered select
 // techniques.
 func SelectNames() []string {

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"math/rand"
@@ -12,7 +13,9 @@ import (
 	"knncost/internal/core"
 	"knncost/internal/datagen"
 	"knncost/internal/geom"
+	"knncost/internal/optimizer"
 	"knncost/internal/quadtree"
+	"knncost/internal/store"
 )
 
 // PerfResult is one machine-readable microbenchmark measurement. The file
@@ -131,6 +134,57 @@ func RunPerf(seed int64) ([]PerfResult, error) {
 			}
 		}},
 	}
+
+	// The plan-cache trajectory: cold multi-predicate planning (enumerate +
+	// price every alternative against the snapshots) vs a cached lookup of
+	// the same shape — the spread is what the optimizer's cache buys.
+	st, err := store.New(store.Options{
+		MaxK: maxK, IndexCapacity: 256, Bounds: datagen.WorldBounds, CompactInterval: -1,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("harness: perf store: %w", err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		st.Close(ctx)
+	}()
+	if _, err := st.Register("perf_outer", datagen.OSMLike(5_000, seed+1)); err != nil {
+		return nil, fmt.Errorf("harness: perf store: %w", err)
+	}
+	if _, err := st.Register("perf_inner", pts); err != nil {
+		return nil, fmt.Errorf("harness: perf store: %w", err)
+	}
+	readyCtx, cancelReady := context.WithTimeout(context.Background(), time.Minute)
+	defer cancelReady()
+	if err := st.WaitReady(readyCtx); err != nil {
+		return nil, fmt.Errorf("harness: perf store: %w", err)
+	}
+	v := st.View()
+	planQuery := optimizer.Query{Selects: []optimizer.SelectPredicate{
+		{Relation: "perf_outer", Query: queries[0].Point, K: 10},
+		{Relation: "perf_inner", Query: queries[0].Point, K: 25},
+	}, Selectivity: 0.5}
+	planner := optimizer.NewPlanner(0)
+	if _, err := planner.Plan(v, planQuery); err != nil {
+		return nil, fmt.Errorf("harness: perf plan warmup: %w", err)
+	}
+	cases = append(cases,
+		perfCase{"plan_cold_two_select", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := optimizer.PlanOnce(v, planQuery); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		perfCase{"plan_cached_two_select", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := planner.Plan(v, planQuery); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+	)
 
 	results := make([]PerfResult, 0, len(cases))
 	for _, c := range cases {

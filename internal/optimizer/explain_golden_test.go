@@ -1,0 +1,95 @@
+package optimizer
+
+import (
+	"testing"
+
+	"knncost/internal/engine"
+	"knncost/internal/geom"
+)
+
+// TestExplainGolden extends the planner's PR-5 golden Explain suite to the
+// multi-predicate shapes: the text (descriptions, ordering, costs, cache
+// annotation) is pinned down to the digit against the fully deterministic
+// lattice fixture, so neither the enumeration order nor the pricing can
+// drift silently.
+func TestExplainGolden(t *testing.T) {
+	st := newTestStore(t)
+	v := st.View()
+	pt := geom.Point{X: 50, Y: 50}
+
+	t.Run("two-select drive order", func(t *testing.T) {
+		// The filter inflates only the driving browse: driving the small-k
+		// select (hotels, k=8→32) is far cheaper than driving the large-k
+		// one, so plan 1 drives hotels.
+		d, err := PlanOnce(v, Query{Selects: []SelectPredicate{
+			{Relation: "hotels", Query: pt, K: 8, Technique: engine.TechDensity},
+			{Relation: "cafes", Query: pt, K: 48, Technique: engine.TechDensity},
+		}, Selectivity: 0.25})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := "* plan 1: drive hotels(k~32), verify cafes(k=48)               estimated      8.0 blocks\n" +
+			"  plan 2: drive cafes(k~192), verify hotels(k=8)               estimated     20.0 blocks\n"
+		if got := d.Explain(); got != want {
+			t.Errorf("Explain() =\n%s\nwant:\n%s", got, want)
+		}
+	})
+
+	t.Run("two-select ordering flip", func(t *testing.T) {
+		// The mirror image of the previous shape: the large k now rides on
+		// hotels, so the chosen driver flips to cafes.
+		d, err := PlanOnce(v, Query{Selects: []SelectPredicate{
+			{Relation: "hotels", Query: pt, K: 48, Technique: engine.TechDensity},
+			{Relation: "cafes", Query: pt, K: 8, Technique: engine.TechDensity},
+		}, Selectivity: 0.25})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := "* plan 1: drive cafes(k~32), verify hotels(k=48)               estimated      8.0 blocks\n" +
+			"  plan 2: drive hotels(k~192), verify cafes(k=8)               estimated     20.0 blocks\n"
+		if got := d.Explain(); got != want {
+			t.Errorf("Explain() =\n%s\nwant:\n%s", got, want)
+		}
+	})
+
+	t.Run("select pushed into join", func(t *testing.T) {
+		d, err := PlanOnce(v, Query{
+			Selects: []SelectPredicate{
+				{Relation: "hotels", Query: pt, K: 4, Technique: engine.TechDensity},
+			},
+			Join: &JoinPredicate{Outer: "hotels", Inner: "cafes", K: 3, Technique: engine.TechVirtualGrid},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := "* plan 1: drive hotels(k=4), probe cafes(k=3)x4                estimated     20.0 blocks\n" +
+			"  plan 2: join hotels⋉cafes(k=3), verify hotels(k=4)           estimated    498.0 blocks\n"
+		if got := d.Explain(); got != want {
+			t.Errorf("Explain() =\n%s\nwant:\n%s", got, want)
+		}
+	})
+
+	t.Run("cache-hit annotation", func(t *testing.T) {
+		p := NewPlanner(0)
+		q := Query{Selects: []SelectPredicate{
+			{Relation: "hotels", Query: pt, K: 8, Technique: engine.TechDensity},
+			{Relation: "cafes", Query: pt, K: 8, Technique: engine.TechDensity},
+		}}
+		if _, err := p.Plan(v, q); err != nil {
+			t.Fatal(err)
+		}
+		d, err := p.Plan(v, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !d.Cached {
+			t.Fatal("second plan not cached")
+		}
+		want := "* plan 1: drive hotels(k=8), verify cafes(k=8)                 estimated      8.0 blocks\n" +
+			"  plan 2: drive cafes(k=8), verify hotels(k=8)                 estimated      8.0 blocks\n" +
+			"  (served from plan cache)\n"
+		if got := d.Explain(); got != want {
+			t.Errorf("Explain() =\n%s\nwant:\n%s", got, want)
+		}
+	})
+}

@@ -31,6 +31,11 @@
 //
 // Write endpoints:
 //
+//	POST   /plan                      plan a conjunctive multi-predicate query
+//	                                  (≥2 kNN predicates) through the optimizer's
+//	                                  fingerprinted plan cache; ?explain=1 adds
+//	                                  the EXPLAIN text. Falls under the default
+//	                                  estimate deadline of the middleware.
 //	POST   /estimate/select/batch     many select estimates in one round trip
 //	POST   /relations                 register/replace a relation (202 Accepted;
 //	                                  body carries inline points or a
@@ -71,6 +76,7 @@ import (
 	"knncost/internal/index"
 	"knncost/internal/knn"
 	"knncost/internal/knnjoin"
+	"knncost/internal/optimizer"
 	"knncost/internal/store"
 )
 
@@ -87,6 +93,9 @@ type Options struct {
 	// POST /relations: file names resolve strictly inside this directory.
 	// Empty (the default) disables file loading entirely.
 	DataDir string
+	// PlanCacheEntries bounds the optimizer's plan cache. Zero means the
+	// optimizer default.
+	PlanCacheEntries int
 }
 
 func (o Options) withDefaults() Options {
@@ -107,6 +116,7 @@ type Server struct {
 	opt      Options
 	store    *store.Store
 	ownStore bool // Close drains the store only when New created it
+	planner  *optimizer.Planner
 	mux      *http.ServeMux
 }
 
@@ -151,16 +161,25 @@ func New(trees map[string]*index.Tree, opt Options) (*Server, error) {
 // 503 + Retry-After until their snapshot lands.
 func NewWithStore(st *store.Store, opt Options) *Server {
 	s := &Server{
-		opt:   opt.withDefaults(),
-		store: st,
-		mux:   http.NewServeMux(),
+		opt:     opt.withDefaults(),
+		store:   st,
+		planner: optimizer.NewPlanner(opt.PlanCacheEntries),
+		mux:     http.NewServeMux(),
 	}
+	// Every hot swap, compaction publish or drop purges the plans that
+	// reference the republished relation; the hook fires after the store's
+	// View swap, so a stale plan is never both resolvable and cached.
+	st.AddPublishHook(s.planner.Invalidate)
 	s.routes()
 	return s
 }
 
 // Store returns the server's relation store.
 func (s *Server) Store() *store.Store { return s.store }
+
+// Planner returns the server's plan-cache-backed optimizer (for metrics
+// publication and tests).
+func (s *Server) Planner() *optimizer.Planner { return s.planner }
 
 // Close drains the internally managed store of a New-constructed server; it
 // is a no-op for NewWithStore servers, whose store the caller owns.
@@ -190,6 +209,9 @@ func (s *Server) routes() {
 	// and POSTs get a Content-Type check before the body is read.
 	s.mux.HandleFunc("/estimate/select/batch", s.handleEstimateSelectBatchRoute)
 	s.mux.HandleFunc("GET /estimate/join", s.handleEstimateJoin)
+	// Like the batch route, /plan owns its method dispatch for JSON 405
+	// (with Allow) and a Content-Type check before the body is read.
+	s.mux.HandleFunc("/plan", s.handlePlanRoute)
 	s.mux.HandleFunc("GET /cost/select", s.handleCostSelect)
 	s.mux.HandleFunc("GET /cost/join", s.handleCostJoin)
 }

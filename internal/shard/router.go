@@ -267,6 +267,7 @@ func (rt *Router) routes() {
 	rt.mux.HandleFunc("GET /estimate/join", rt.handleJoin)
 	rt.mux.HandleFunc("GET /cost/join", rt.handleJoin)
 	rt.mux.HandleFunc("/estimate/select/batch", rt.handleBatch)
+	rt.mux.HandleFunc("/plan", rt.handlePlan)
 }
 
 // --- topology lookups --------------------------------------------------------
@@ -489,8 +490,15 @@ func unknownRelation(res proxyRes) (string, bool) {
 // a catalog cache) and retries there. Two rounds cover a join missing both
 // sides. A relation no peer has is not healable and the 400 stands.
 func (rt *Router) routedDo(ctx context.Context, reps []*replica, req proxyReq) proxyRes {
+	return rt.routedDoN(ctx, reps, req, 2)
+}
+
+// routedDoN is routedDo with an explicit heal budget: requests referencing
+// n relations need up to n mirror-and-retry rounds, one per relation the
+// winning shard might be missing.
+func (rt *Router) routedDoN(ctx context.Context, reps []*replica, req proxyReq, rounds int) proxyRes {
 	res := rt.hedgedDo(ctx, reps, req)
-	for tries := 0; tries < 2; tries++ {
+	for tries := 0; tries < rounds; tries++ {
 		name, ok := unknownRelation(res)
 		if !ok || res.rep == nil {
 			return res
@@ -725,21 +733,35 @@ func (rt *Router) handleJoin(w http.ResponseWriter, r *http.Request) {
 // pairReplicas orders the candidate shards of a join: shards owning both
 // relations first (no mirror needed), then the outer's remaining owners.
 func (rt *Router) pairReplicas(outer, inner string) []*replica {
-	outerReps := rt.replicasFor(outer)
-	innerOwned := map[string]bool{}
-	for _, rep := range rt.ownersFor(inner) {
-		innerOwned[rep.id] = true
+	return rt.groupReplicas([]string{outer, inner})
+}
+
+// groupReplicas generalizes pairReplicas to any number of relations: the
+// first relation's replicas ordered fastest-first, with shards that own
+// every listed relation promoted to the front — they can answer without a
+// mirror. Shards missing some relation stay reachable behind them; routedDoN
+// heals them one relation per round when they win.
+func (rt *Router) groupReplicas(names []string) []*replica {
+	first := rt.replicasFor(names[0])
+	if len(names) == 1 {
+		return first
 	}
-	both := make([]*replica, 0, len(outerReps))
-	rest := make([]*replica, 0, len(outerReps))
-	for _, rep := range outerReps {
-		if innerOwned[rep.id] {
-			both = append(both, rep)
+	owns := map[string]int{}
+	for _, name := range names[1:] {
+		for _, rep := range rt.ownersFor(name) {
+			owns[rep.id]++
+		}
+	}
+	all := make([]*replica, 0, len(first))
+	rest := make([]*replica, 0, len(first))
+	for _, rep := range first {
+		if owns[rep.id] == len(names)-1 {
+			all = append(all, rep)
 		} else {
 			rest = append(rest, rep)
 		}
 	}
-	return append(both, rest...)
+	return append(all, rest...)
 }
 
 // handleRelationGet routes /relations/{name}/status and …/points to the
@@ -1078,6 +1100,72 @@ func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	merged.TookNs = time.Since(start).Nanoseconds()
 	writeJSON(w, http.StatusOK, merged)
+}
+
+// handlePlan routes POST /plan to a shard that can price the whole
+// conjunctive query against local snapshots: shards owning every referenced
+// relation are preferred (the plan is served in one hop, and the shard's
+// plan cache stays hot for the shape), otherwise the first relation's
+// owners answer and the router mirrors the missing relations onto the
+// winner in-band — one heal round per referenced relation.
+func (rt *Router) handlePlan(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeJSON(w, http.StatusMethodNotAllowed,
+			map[string]string{"error": fmt.Sprintf("method %s not allowed; use POST", r.Method)})
+		return
+	}
+	if ct := r.Header.Get("Content-Type"); ct != "" {
+		if mt, _, err := mime.ParseMediaType(ct); err != nil || mt != "application/json" {
+			writeJSON(w, http.StatusUnsupportedMediaType,
+				map[string]string{"error": fmt.Sprintf("Content-Type %q not supported; use application/json", ct)})
+			return
+		}
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBatchBody))
+	if err != nil {
+		badRequest(w, "decoding plan request: %v", err)
+		return
+	}
+	var req service.PlanRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		badRequest(w, "decoding plan request: %v", err)
+		return
+	}
+	names := planRelations(req)
+	if len(names) == 0 {
+		badRequest(w, "plan references no relations")
+		return
+	}
+	pq := r.URL.Path
+	if r.URL.RawQuery != "" {
+		pq += "?" + r.URL.RawQuery // preserve ?explain=
+	}
+	writeProxied(w, rt.routedDoN(r.Context(), rt.groupReplicas(names), proxyReq{
+		method: http.MethodPost, pathQuery: pq,
+		body: body, contentType: "application/json",
+	}, len(names)))
+}
+
+// planRelations lists the distinct relations a plan request references, in
+// first-mention order — the order groupReplicas anchors routing on.
+func planRelations(req service.PlanRequest) []string {
+	seen := map[string]bool{}
+	names := make([]string, 0, len(req.Selects)+2)
+	add := func(n string) {
+		if n != "" && !seen[n] {
+			seen[n] = true
+			names = append(names, n)
+		}
+	}
+	for _, sel := range req.Selects {
+		add(sel.Relation)
+	}
+	if req.Join != nil {
+		add(req.Join.Outer)
+		add(req.Join.Inner)
+	}
+	return names
 }
 
 // splitQueries partitions queries into n contiguous chunks whose sizes

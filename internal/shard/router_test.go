@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"reflect"
+	"sort"
 	"sync"
 	"testing"
 	"time"
@@ -457,5 +458,140 @@ func TestRouterJoinAcrossShards(t *testing.T) {
 	// pair crossed shards and forced a mirror.
 	if rt.WarmRestores() == 0 {
 		t.Error("expected at least one cross-shard join to mirror the inner relation")
+	}
+}
+
+// postPlan posts one plan request and returns status plus the parsed body
+// with timing removed.
+func postPlan(t *testing.T, base string, req service.PlanRequest, query string) (int, map[string]any) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+"/plan"+query, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var m map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatalf("POST /plan on %s: decoding: %v", base, err)
+	}
+	delete(m, "took_ns")
+	return resp.StatusCode, m
+}
+
+// TestRouterPlanCoResident pins the happy routing path of POST /plan: with
+// full replication every shard holds every relation, so the plan is served
+// in one hop with no mirror, and the decision (costs, ordering, explain
+// text) is bit-exact equal to a single node's.
+func TestRouterPlanCoResident(t *testing.T) {
+	relations := map[string][]geom.Point{
+		"alpha": datagen.OSMLike(300, 31),
+		"beta":  datagen.OSMLike(350, 32),
+	}
+	oracle := newOracle(t, relations)
+	shards := []*testShard{newTestShard(t, "p1", nil), newTestShard(t, "p2", nil)}
+	rt, err := New([]Shard{shards[0].shard(), shards[1].shard()}, Options{Replicas: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := httptest.NewServer(rt)
+	defer front.Close()
+	registerThrough(t, front.URL, relations)
+
+	req := service.PlanRequest{Selects: []service.PlanSelect{
+		{Relation: "alpha", X: 50, Y: 50, K: 8},
+		{Relation: "beta", X: 50, Y: 50, K: 16},
+	}, FilterSelectivity: 0.5}
+	rs, rb := postPlan(t, front.URL, req, "?explain=1")
+	os, ob := postPlan(t, oracle.URL, req, "?explain=1")
+	if rs != http.StatusOK || os != http.StatusOK {
+		t.Fatalf("plan status: router %d (%v), oracle %d (%v)", rs, rb, os, ob)
+	}
+	// The cached flag depends on which replica answered, not on the plan;
+	// everything else must match bit for bit.
+	delete(rb, "cached")
+	delete(ob, "cached")
+	if !reflect.DeepEqual(rb, ob) {
+		t.Errorf("routed plan differs from oracle:\nrouter: %v\noracle: %v", rb, ob)
+	}
+	if rt.WarmRestores() != 0 {
+		t.Errorf("fully replicated plan should not mirror, restores = %d", rt.WarmRestores())
+	}
+
+	// Errors pass through with the service's status mapping.
+	bad := req
+	bad.Selects[0].Relation = "nosuch"
+	if status, _ := postPlan(t, front.URL, bad, ""); status != http.StatusBadRequest {
+		t.Errorf("plan with unknown relation: status %d, want 400", status)
+	}
+}
+
+// TestRouterPlanAcrossShards pins the scatter path: with one replica per
+// relation and the query's relations living on different shards, the router
+// must colocate them by mirroring onto the winning shard — and the healed
+// answer must still match the oracle. The follow-up request hits the same
+// (deterministic) owner and is served from its now-hot plan cache.
+func TestRouterPlanAcrossShards(t *testing.T) {
+	relations := map[string][]geom.Point{}
+	for _, i := range []int{0, 1, 2, 4} {
+		relations[fmt.Sprintf("rel-%d", i)] = datagen.OSMLike(200+50*i, int64(40+i))
+	}
+	ring, err := NewRing([]string{"q1", "q2"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byOwner := map[string][]string{}
+	for name := range relations {
+		byOwner[ring.Owner(name)] = append(byOwner[ring.Owner(name)], name)
+	}
+	if len(byOwner) != 2 {
+		t.Fatalf("test relations all hash to one shard (%v); pick different names", byOwner)
+	}
+	var crossPair []string
+	for _, names := range byOwner {
+		sort.Strings(names)
+		crossPair = append(crossPair, names[0])
+	}
+	sort.Strings(crossPair)
+
+	oracle := newOracle(t, relations)
+	shards := []*testShard{newTestShard(t, "q1", nil), newTestShard(t, "q2", nil)}
+	rt, err := New([]Shard{shards[0].shard(), shards[1].shard()}, Options{Replicas: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := httptest.NewServer(rt)
+	defer front.Close()
+	registerThrough(t, front.URL, relations)
+
+	req := service.PlanRequest{Selects: []service.PlanSelect{
+		{Relation: crossPair[0], X: 50, Y: 50, K: 8},
+		{Relation: crossPair[1], X: 50, Y: 50, K: 8},
+	}, FilterSelectivity: 0.25}
+	rs, rb := postPlan(t, front.URL, req, "")
+	os, ob := postPlan(t, oracle.URL, req, "")
+	if rs != http.StatusOK || os != http.StatusOK {
+		t.Fatalf("plan status: router %d (%v), oracle %d (%v)", rs, rb, os, ob)
+	}
+	delete(rb, "cached")
+	delete(ob, "cached")
+	if !reflect.DeepEqual(rb, ob) {
+		t.Errorf("cross-shard plan differs from oracle:\nrouter: %v\noracle: %v", rb, ob)
+	}
+	if rt.WarmRestores() == 0 {
+		t.Error("cross-shard plan should have mirrored the second relation")
+	}
+
+	// Single owner per relation makes the routing deterministic: the second
+	// identical request lands on the same shard and hits its plan cache.
+	rs, rb = postPlan(t, front.URL, req, "")
+	if rs != http.StatusOK {
+		t.Fatalf("re-plan status %d", rs)
+	}
+	if cached, _ := rb["cached"].(bool); !cached {
+		t.Error("second routed plan not served from the owner's plan cache")
 	}
 }

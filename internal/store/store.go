@@ -339,6 +339,9 @@ type Store struct {
 	entries map[string]*entry
 	closed  bool
 	seq     uint64 // mutation sequence when the WAL is disabled
+	// publishHooks run under s.mu whenever a relation's published snapshot
+	// changes (hot swap, compaction publish, drop); see AddPublishHook.
+	publishHooks []func(relation string)
 
 	jobs   chan string // build signals; one per Queued transition
 	wg     sync.WaitGroup
@@ -432,6 +435,30 @@ func (s *Store) Options() Options { return s.opt }
 // use for any number of lookups; it never blocks and never observes a
 // half-published schema.
 func (s *Store) View() *View { return s.view.Load() }
+
+// AddPublishHook registers fn to be called with a relation's name every
+// time that relation's published snapshot changes: a first publication, a
+// hot swap (re-registration rebuild), a compaction publish, or a drop. The
+// call happens after the new View is swapped in, so fn observes the
+// post-change schema through View(). Hooks run synchronously under the
+// store's lock: they must be fast and must not call back into the store.
+//
+// The plan cache hangs its invalidation off this hook — firing after the
+// View swap means a plan keyed by the old snapshot version is invalidated
+// only once lookups can no longer resolve that version, so there is no
+// window in which a stale plan is both resolvable and uninvalidated.
+func (s *Store) AddPublishHook(fn func(relation string)) {
+	s.mu.Lock()
+	s.publishHooks = append(s.publishHooks, fn)
+	s.mu.Unlock()
+}
+
+// notifyPublishLocked fires the publish hooks for name. Caller holds s.mu.
+func (s *Store) notifyPublishLocked(name string) {
+	for _, fn := range s.publishHooks {
+		fn(name)
+	}
+}
 
 // CatalogBuilds returns the number of catalogs constructed so far (cache
 // hits excluded).
@@ -584,6 +611,7 @@ func (s *Store) Drop(name string) bool {
 	}
 	delete(s.entries, name)
 	s.republishLocked()
+	s.notifyPublishLocked(name)
 	if s.cache != nil {
 		if err := s.cache.forget(name); err != nil {
 			s.opt.logger().Printf("store: updating cache registry after dropping %q: %v", name, err)
@@ -909,6 +937,7 @@ func (s *Store) publishLocked(e *entry, b *builtRelation) {
 	// anything logged after the fold stays pending for the next round.
 	e.pending = filterCovered(e.pending, covered)
 	s.republishLocked()
+	s.notifyPublishLocked(e.name)
 	if wasCompact {
 		s.compactions.Add(1)
 	}

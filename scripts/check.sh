@@ -11,11 +11,11 @@ cd "$(dirname "$0")/.."
 go vet ./...
 sh scripts/lint.sh
 go test ./...
-go test -race ./internal/core/... ./internal/engine/... ./internal/wal/... ./internal/store/... ./internal/service/... ./internal/faultinject/... ./internal/oracle/... ./internal/shard/... ./cmd/knncostd/...
+go test -race ./internal/core/... ./internal/engine/... ./internal/wal/... ./internal/store/... ./internal/optimizer/... ./internal/service/... ./internal/faultinject/... ./internal/oracle/... ./internal/shard/... ./cmd/knncostd/...
 go test -run xxx -bench 'BenchmarkEstimateSelectHot|BenchmarkStaircaseBuildAlloc|BenchmarkFig13SelectPreprocessCC' -benchtime 1x .
 
 # Coverage floors: per-package statement coverage, internal/engine >= 85%,
-# internal/shard >= 78%, internal/wal >= 80%.
+# internal/shard >= 78%, internal/wal >= 80%, internal/optimizer >= 80%.
 sh scripts/cover.sh
 
 # Sharded-tier smoke: three shard daemons + router, a routed registration,
@@ -26,6 +26,11 @@ sh scripts/soak.sh shard
 # mid-ingest, restart over the same cache, and require the WAL replay to
 # converge bit-exact with a from-scratch registration of the same points.
 sh scripts/soak.sh ingest
+
+# Plan-cache smoke: plan a multi-predicate query twice (the second must hit
+# the cache), mutate a referenced relation, and require the re-plan to miss
+# with the invalidation visible in the expvars.
+sh scripts/soak.sh plan
 
 # Estimator-accuracy gate: exact invariants must hold and q-error quantiles
 # must stay within 10% of the checked-in golden baseline.

@@ -2,8 +2,9 @@
 # Coverage gate: print per-package statement coverage and fail when a
 # floored package drops below its floor — internal/engine (the technique
 # registry and relation engine every layer rests on), internal/shard (the
-# scatter-gather routing tier), and internal/wal (the crash-safety
-# foundation of streaming ingest).
+# scatter-gather routing tier), internal/wal (the crash-safety foundation
+# of streaming ingest), and internal/optimizer (the multi-predicate plan
+# enumerator and its invalidation-correct plan cache).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -44,3 +45,4 @@ check_floor() {
 check_floor knncost/internal/engine 85.0
 check_floor knncost/internal/shard 78.0
 check_floor knncost/internal/wal 80.0
+check_floor knncost/internal/optimizer 80.0
