@@ -29,10 +29,11 @@ cover:
 # the robustness middleware, the fault-injection harness, the daemon's
 # signal-driven drain, the oracle differential suite (which runs batches
 # against live hot-swaps), the shard tier's scatter-gather, hedging,
-# breaker, and mirror-on-demand machinery, and the optimizer's
-# single-flight plan cache under concurrent misses and invalidations.
+# breaker, and mirror-on-demand machinery, the optimizer's single-flight
+# plan cache under concurrent misses and invalidations, and the bounds-only
+# AkNN join (whose summaries are shared across snapshot readers).
 race:
-	$(GO) test -race ./internal/core/... ./internal/engine/... ./internal/wal/... ./internal/store/... ./internal/optimizer/... ./internal/service/... ./internal/faultinject/... ./internal/oracle/... ./internal/shard/... ./cmd/knncostd/...
+	$(GO) test -race ./internal/core/... ./internal/engine/... ./internal/aknn/... ./internal/wal/... ./internal/store/... ./internal/optimizer/... ./internal/service/... ./internal/faultinject/... ./internal/oracle/... ./internal/shard/... ./cmd/knncostd/...
 
 # One iteration of every benchmark: catches benchmarks that panic or
 # regress to building their fixture per op, without the full measurement
@@ -44,7 +45,7 @@ bench-smoke:
 check: vet
 	$(MAKE) lint
 	$(GO) test ./...
-	$(GO) test -race ./internal/core/... ./internal/engine/... ./internal/wal/... ./internal/store/... ./internal/optimizer/... ./internal/service/... ./internal/faultinject/... ./internal/oracle/... ./internal/shard/... ./cmd/knncostd/...
+	$(GO) test -race ./internal/core/... ./internal/engine/... ./internal/aknn/... ./internal/wal/... ./internal/store/... ./internal/optimizer/... ./internal/service/... ./internal/faultinject/... ./internal/oracle/... ./internal/shard/... ./cmd/knncostd/...
 	$(GO) test -run xxx -bench 'BenchmarkEstimateSelectHot|BenchmarkStaircaseBuildAlloc|BenchmarkFig13SelectPreprocessCC' -benchtime 1x .
 	$(MAKE) cover
 	sh scripts/soak.sh shard
@@ -67,6 +68,9 @@ accuracy:
 fuzz-smoke:
 	$(GO) test -run xxx -fuzz FuzzEstimateSelect -fuzztime 2s ./internal/oracle/
 	$(GO) test -run xxx -fuzz FuzzJoinCost -fuzztime 2s ./internal/oracle/
+	$(GO) test -run xxx -fuzz 'FuzzAknnJoin$$' -fuzztime 2s ./internal/aknn/
+	$(GO) test -run xxx -fuzz FuzzAknnBoundsEstimate -fuzztime 2s ./internal/aknn/
+	$(GO) test -run xxx -fuzz FuzzLoadAknnSummary -fuzztime 2s ./internal/aknn/
 
 # Boot a real knncostd, burst the batch endpoint, SIGTERM it, and assert a
 # clean drain and exit 0 — the end-to-end smoke of the robustness layer.

@@ -31,8 +31,9 @@
 // -technique names one registered estimation technique (canonical name or
 // alias; "list" prints the registry) and estimates with it alone, using the
 // default catalog options; without it, select mode compares the default
-// staircase against the density baseline and join mode compares all three
-// join techniques, honouring -maxk.
+// staircase against the density baseline and join mode compares the three
+// locality-join techniques plus the bounds-only aknn-bounds estimator
+// against its own AkNN ground truth, honouring -maxk.
 package main
 
 import (
@@ -311,6 +312,18 @@ func runJoin(n, outerN int, seed int64, capacity, k, maxK int, technique string)
 		fatal(err)
 	}
 	fmt.Printf("virtual-grid estimate (10x10):  %10.0f blocks (%d B catalogs)\n", est, vg.StorageBytes())
+
+	// The bounds-only AkNN join is a different evaluation strategy with a
+	// different cost unit (candidate points, not blocks); its estimator is
+	// compared against its own ground truth, not the locality cost above.
+	aknnActual := knncost.JoinAkNNCost(outer, inner, k)
+	fmt.Printf("\nactual bounds-only AkNN cost:   %10d points\n", aknnActual)
+	est, err = knncost.NewAknnBoundsEstimator(outer, inner, 200).EstimateJoin(k)
+	if err != nil {
+		fatal(err)
+	}
+	sum := knncost.NewAknnSummary(inner)
+	fmt.Printf("aknn-bounds estimate (s=200):   %10.0f points (%d B summary)\n", est, sum.StorageBytes())
 }
 
 // runPlan builds two relations in an in-process store and prices a

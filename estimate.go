@@ -3,6 +3,7 @@ package knncost
 import (
 	"io"
 
+	"knncost/internal/aknn"
 	"knncost/internal/core"
 	"knncost/internal/datagen"
 	"knncost/internal/knnjoin"
@@ -95,6 +96,50 @@ func JoinKNN(outer, inner *Index, k int, emit func(JoinPair)) JoinStats {
 // under locality-based processing, computed from counts alone.
 func JoinKNNCost(outer, inner *Index, k int) int {
 	return knnjoin.Cost(outer.count, inner.count, k)
+}
+
+// AknnPair is one result tuple of the bounds-only AkNN join.
+type AknnPair = aknn.Pair
+
+// AknnStats reports the work the bounds-only AkNN join performed;
+// PointsScanned is the cost the aknn-bounds estimator predicts.
+type AknnStats = aknn.Stats
+
+// JoinAkNN evaluates (outer ⋉_aknn inner) exactly with the bounds-only
+// pruning test (internal/aknn, after Winecki) — a different evaluation
+// strategy than JoinKNN's locality-based join, with a different cost
+// model. emit is invoked for every result pair, grouped by outer point.
+func JoinAkNN(outer, inner *Index, k int, emit func(AknnPair)) AknnStats {
+	return aknn.Join(outer.tree, inner.tree, k, emit)
+}
+
+// JoinAkNNCost returns the true cost of (outer ⋉_aknn inner) under
+// bounds-only processing — candidate inner points scanned — computed from
+// partition bounds and counts alone.
+func JoinAkNNCost(outer, inner *Index, k int) int {
+	return aknn.Cost(outer.count, inner.count, k)
+}
+
+// AknnSummary is the per-inner-relation artifact of the aknn-bounds join
+// technique: partition bounds and counts, everything its estimator needs.
+type AknnSummary = aknn.Summary
+
+// NewAknnSummary summarizes inner for the bounds-only AkNN cost model.
+func NewAknnSummary(inner *Index) *AknnSummary {
+	return aknn.BuildSummary(inner.count)
+}
+
+// NewAknnBoundsEstimator creates the aknn-bounds join estimator for
+// (outer ⋉_aknn inner); sampleSize <= 0 uses every outer block (exact:
+// the estimate equals JoinAkNNCost).
+func NewAknnBoundsEstimator(outer, inner *Index, sampleSize int) JoinEstimator {
+	return aknn.BuildSummary(inner.count).Bind(outer.count, sampleSize)
+}
+
+// LoadAknnSummary reloads a summary previously saved with its WriteTo
+// method. It is standalone: no index is required.
+func LoadAknnSummary(r io.Reader) (*AknnSummary, error) {
+	return aknn.LoadSummary(r)
 }
 
 // BlockSampleEstimator is the sampling-at-query-time join estimator (§4.1).

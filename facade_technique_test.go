@@ -89,7 +89,7 @@ func TestFacadeTechniqueListings(t *testing.T) {
 			t.Errorf("%s: empty summary", ti.Name)
 		}
 	}
-	wantJoin := []string{"block-sample", "catalog-merge", "virtual-grid"}
+	wantJoin := []string{"aknn-bounds", "block-sample", "catalog-merge", "virtual-grid"}
 	join := knncost.JoinTechniques()
 	if len(join) != len(wantJoin) {
 		t.Fatalf("JoinTechniques: %d entries, want %d", len(join), len(wantJoin))

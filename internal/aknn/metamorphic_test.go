@@ -1,0 +1,143 @@
+// Metamorphic properties of the bounds-only AkNN cost model, asserted
+// without knowing true values: exact invariance under lossless IEEE
+// transformations (power-of-two scale, dyadic translation), monotonicity
+// in k, and inner-partition refinement never increasing the cost.
+package aknn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"knncost/internal/geom"
+)
+
+// quantize snaps a coordinate to the 2^-10 lattice, on which sums and
+// midpoints up to the quadtree's depth limit are exact.
+func quantize(p geom.Point) geom.Point {
+	const q = 1024.0
+	return geom.Point{X: math.Round(p.X*q) / q, Y: math.Round(p.Y*q) / q}
+}
+
+func transformPoints(pts []geom.Point, f func(geom.Point) geom.Point) []geom.Point {
+	out := make([]geom.Point, len(pts))
+	for i, p := range pts {
+		out[i] = f(p)
+	}
+	return out
+}
+
+// assertAknnTransformInvariant builds original and transformed relation
+// pairs and requires bit-identical costs and estimates.
+func assertAknnTransformInvariant(t *testing.T, outerPts, innerPts []geom.Point, f func(geom.Point) geom.Point) {
+	t.Helper()
+	outer := buildTree(t, outerPts, 16).CountTree()
+	inner := buildTree(t, innerPts, 16).CountTree()
+	outerT := buildTree(t, transformPoints(outerPts, f), 16).CountTree()
+	innerT := buildTree(t, transformPoints(innerPts, f), 16).CountTree()
+	sum, sumT := BuildSummary(inner), BuildSummary(innerT)
+	if sum.NumPartitions() != sumT.NumPartitions() || sum.Total() != sumT.Total() {
+		t.Fatalf("summaries diverge: %d/%d vs %d/%d",
+			sum.NumPartitions(), sum.Total(), sumT.NumPartitions(), sumT.Total())
+	}
+	for _, k := range []int{1, 3, 17, 64, len(innerPts) + 1} {
+		if a, b := Cost(outer, inner, k), Cost(outerT, innerT, k); a != b {
+			t.Fatalf("Cost(k=%d): %d original, %d transformed", k, a, b)
+		}
+		for _, s := range []int{7, 0} {
+			a, errA := sum.Bind(outer, s).EstimateJoin(k)
+			b, errB := sumT.Bind(outerT, s).EstimateJoin(k)
+			if errA != nil || errB != nil || a != b {
+				t.Fatalf("estimate(k=%d, s=%d): %v,%v original, %v,%v transformed", k, s, a, errA, b, errB)
+			}
+		}
+	}
+}
+
+// TestAknnScaleInvariance: scaling every coordinate by a power of two is
+// lossless in IEEE doubles and commutes with splits, MINDIST/MAXDIST and
+// the threshold comparison, so costs and estimates are bit-identical.
+func TestAknnScaleInvariance(t *testing.T) {
+	const scale = 4.0
+	rng := rand.New(rand.NewSource(31))
+	outerPts := randPoints(rng, 300, testBounds())
+	innerPts := randPoints(rng, 400, testBounds())
+	assertAknnTransformInvariant(t, outerPts, innerPts, func(p geom.Point) geom.Point {
+		return geom.Point{X: p.X * scale, Y: p.Y * scale}
+	})
+}
+
+// TestAknnTranslationInvariance: on the dyadic lattice a power-of-two
+// translation keeps every sum, midpoint and difference exact.
+func TestAknnTranslationInvariance(t *testing.T) {
+	const shift = 256.0
+	rng := rand.New(rand.NewSource(37))
+	outerPts := transformPoints(randPoints(rng, 300, testBounds()), quantize)
+	innerPts := transformPoints(randPoints(rng, 400, testBounds()), quantize)
+	assertAknnTransformInvariant(t, outerPts, innerPts, func(p geom.Point) geom.Point {
+		return geom.Point{X: p.X + shift, Y: p.Y + shift}
+	})
+}
+
+// TestAknnMonotonicInK: asking for more neighbors can only grow U, the
+// scan sets, the cost, and every estimate.
+func TestAknnMonotonicInK(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	outer := buildTree(t, randPoints(rng, 300, testBounds()), 16).CountTree()
+	inner := buildTree(t, randPoints(rng, 400, testBounds()), 16).CountTree()
+	sum := BuildSummary(inner)
+	est := sum.Bind(outer, 7)
+	prevCost, prevEst := 0, 0.0
+	for k := 1; k <= 420; k += 7 {
+		cost := Cost(outer, inner, k)
+		if cost < prevCost {
+			t.Fatalf("Cost decreased from %d to %d at k=%d", prevCost, cost, k)
+		}
+		prevCost = cost
+		got, err := est.EstimateJoin(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got < prevEst {
+			t.Fatalf("estimate decreased from %v to %v at k=%d", prevEst, got, k)
+		}
+		prevEst = got
+	}
+}
+
+// TestAknnInnerRefinementNeverIncreasesCost: splitting inner partitions
+// can only raise MINDISTs, lower MAXDISTs, shrink U and drop candidates —
+// so a finer inner partitioning never increases the bounds-only cost or
+// the full-sample estimate. Quadtree leaf sets at decreasing capacities
+// are true refinements of each other (a node that splits at capacity c
+// also splits at any c' < c), which is what makes the chain comparable.
+// The property is specific to refining the *inner* relation: refining the
+// outer adds per-block scans and can raise the total.
+func TestAknnInnerRefinementNeverIncreasesCost(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	outer := buildTree(t, randPoints(rng, 300, testBounds()), 32).CountTree()
+	innerPts := randPoints(rng, 500, testBounds())
+	capacities := []int{64, 32, 16, 8}
+	for _, k := range []int{1, 5, 25, 120, 501} {
+		prevCost := math.MaxInt
+		prevEst := math.Inf(1)
+		for _, cap := range capacities {
+			inner := buildTree(t, innerPts, cap).CountTree()
+			cost := Cost(outer, inner, k)
+			if cost > prevCost {
+				t.Fatalf("k=%d: refining inner to capacity %d raised cost from %d to %d",
+					k, cap, prevCost, cost)
+			}
+			prevCost = cost
+			est, err := BuildSummary(inner).Bind(outer, 0).EstimateJoin(k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if est > prevEst {
+				t.Fatalf("k=%d: refining inner to capacity %d raised estimate from %v to %v",
+					k, cap, prevEst, est)
+			}
+			prevEst = est
+		}
+	}
+}

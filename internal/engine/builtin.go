@@ -24,6 +24,13 @@ const (
 	// TechVirtualGrid keeps one locality catalog per cell of a grid over
 	// the inner relation — linear storage across a schema (§4.3).
 	TechVirtualGrid = "virtual-grid"
+	// TechAknnBounds estimates the bounds-only pruning AkNN join
+	// (internal/aknn, after Winecki): cost in candidate inner points,
+	// computed from the inner relation's per-partition bounds summary. It
+	// prices a different exact join evaluation strategy than the three
+	// locality-join techniques above, so its estimates are not comparable
+	// to theirs — only to aknn ground truth.
+	TechAknnBounds = "aknn-bounds"
 )
 
 func init() {
@@ -68,6 +75,15 @@ func init() {
 		Preprocessed: true,
 		Estimator: func(outer, inner *Relation) (core.JoinEstimator, error) {
 			return outer.CatalogMerge(inner)
+		},
+	})
+	RegisterJoin(JoinTechnique{
+		Name:         TechAknnBounds,
+		Aliases:      []string{"aknnbounds", "aknn"},
+		Summary:      "bounds-only pruning cost of the exact AkNN join, in points (Winecki)",
+		Preprocessed: true,
+		Estimator: func(outer, inner *Relation) (core.JoinEstimator, error) {
+			return inner.AknnSummary().Bind(outer.count, outer.opt.SampleSize), nil
 		},
 	})
 	RegisterJoin(JoinTechnique{

@@ -24,6 +24,7 @@ package engine
 import (
 	"sync"
 
+	"knncost/internal/aknn"
 	"knncost/internal/core"
 	"knncost/internal/index"
 )
@@ -221,6 +222,17 @@ func (r *Relation) VirtualGrid() (*core.VirtualGrid, error) {
 		return nil, err
 	}
 	return v.(*core.VirtualGrid), nil
+}
+
+// AknnSummary returns the relation's bounds-only AkNN summary — the
+// per-inner-relation artifact of the "aknn-bounds" join technique —
+// building it from the Count-Index on first use. Construction cannot
+// fail. Bind it to an outer Count-Index to obtain a JoinEstimator.
+func (r *Relation) AknnSummary() *aknn.Summary {
+	v, _ := r.buildOnce(artifactKey{technique: TechAknnBounds}, func() (any, error) {
+		return aknn.BuildSummary(r.count), nil
+	})
+	return v.(*aknn.Summary)
 }
 
 // CatalogMerge returns the Catalog-Merge estimator for (r ⋉ inner),

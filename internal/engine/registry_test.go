@@ -14,7 +14,7 @@ func TestBuiltinNames(t *testing.T) {
 	if got := SelectNames(); !reflect.DeepEqual(got, wantSelect) {
 		t.Errorf("SelectNames() = %v, want %v", got, wantSelect)
 	}
-	wantJoin := []string{TechBlockSample, TechCatalogMerge, TechVirtualGrid}
+	wantJoin := []string{TechAknnBounds, TechBlockSample, TechCatalogMerge, TechVirtualGrid}
 	if got := JoinNames(); !reflect.DeepEqual(got, wantJoin) {
 		t.Errorf("JoinNames() = %v, want %v", got, wantJoin)
 	}

@@ -11,6 +11,7 @@ import (
 	"strings"
 	"time"
 
+	"knncost/internal/aknn"
 	"knncost/internal/core"
 	"knncost/internal/engine"
 	"knncost/internal/geom"
@@ -206,6 +207,7 @@ var accuracyRows = map[string][]string{
 	engine.TechBlockSample:  {"join_block_sample"},
 	engine.TechCatalogMerge: {"join_catalog_merge"},
 	engine.TechVirtualGrid:  {"join_virtual_grid"},
+	engine.TechAknnBounds:   {"join_aknn_bounds"},
 }
 
 // ResolveAccuracyTechniques resolves technique names through the engine
@@ -340,22 +342,29 @@ func RunAccuracy(cfg AccuracyConfig) (AccuracyReport, error) {
 		// Join techniques, against the next workload as inner relation.
 		// Artifacts are built only for rows the filter kept; the whole
 		// block is skipped when no join technique is included.
-		if !include("join_block_sample") && !include("join_catalog_merge") && !include("join_virtual_grid") {
+		if !include("join_block_sample") && !include("join_catalog_merge") &&
+			!include("join_virtual_grid") && !include("join_aknn_bounds") {
 			continue
 		}
 		inner := trees[(i+1)%len(trees)].CountTree()
+		// Each technique carries its own ground truth: the three locality
+		// techniques estimate the locality join's block-scan cost, while
+		// aknn-bounds estimates the bounds-only AkNN join's point-scan
+		// cost — different evaluation strategies, different true costs.
 		type joinTech struct {
-			name string
-			est  core.JoinEstimator
-			ref  func(int) (float64, error)
+			name  string
+			est   core.JoinEstimator
+			ref   func(int) (float64, error)
+			truth func(int) float64
 		}
+		localityTruth := func(k int) float64 { return float64(oracle.JoinCost(count, inner, k)) }
 		var joinTechs []joinTech
 		if include("join_block_sample") {
 			joinTechs = append(joinTechs, joinTech{"join_block_sample",
 				core.NewBlockSample(count, inner, cfg.SampleSize),
 				func(k int) (float64, error) {
 					return oracle.BlockSampleEstimate(count, inner, cfg.SampleSize, k)
-				}})
+				}, localityTruth})
 		}
 		if include("join_catalog_merge") {
 			cm, err := core.BuildCatalogMerge(count, inner, cfg.SampleSize, cfg.MaxK)
@@ -365,7 +374,7 @@ func RunAccuracy(cfg AccuracyConfig) (AccuracyReport, error) {
 			joinTechs = append(joinTechs, joinTech{"join_catalog_merge", cm,
 				func(k int) (float64, error) {
 					return oracle.CatalogMergeEstimate(count, inner, cfg.SampleSize, cfg.MaxK, k)
-				}})
+				}, localityTruth})
 		}
 		if include("join_virtual_grid") {
 			vg, err := core.BuildVirtualGrid(inner, cfg.GridSize, cfg.GridSize, cfg.MaxK)
@@ -375,7 +384,16 @@ func RunAccuracy(cfg AccuracyConfig) (AccuracyReport, error) {
 			joinTechs = append(joinTechs, joinTech{"join_virtual_grid", vg.Bind(count),
 				func(k int) (float64, error) {
 					return oracle.VirtualGridEstimate(count, inner, cfg.GridSize, cfg.GridSize, cfg.MaxK, k)
-				}})
+				}, localityTruth})
+		}
+		if include("join_aknn_bounds") {
+			sum := aknn.BuildSummary(inner)
+			joinTechs = append(joinTechs, joinTech{"join_aknn_bounds",
+				sum.Bind(count, cfg.SampleSize),
+				func(k int) (float64, error) {
+					return oracle.AknnBoundsEstimate(count, inner, cfg.SampleSize, k)
+				},
+				func(k int) float64 { return float64(oracle.AknnJoinCost(count, inner, k)) }})
 		}
 		for _, k := range w.Ks {
 			truth := oracle.JoinCost(count, inner, k)
@@ -384,13 +402,21 @@ func RunAccuracy(cfg AccuracyConfig) (AccuracyReport, error) {
 			ctxCost, err := knnjoin.CostContext(ctx, count, inner, k)
 			run.check(err == nil && ctxCost == truth,
 				"%s: join CostContext(k=%d) = %d,%v; plain %d", w.Name, k, ctxCost, err, truth)
+			if include("join_aknn_bounds") {
+				aknnTruth := oracle.AknnJoinCost(count, inner, k)
+				run.check(aknn.Cost(count, inner, k) == aknnTruth,
+					"%s: aknn Cost(k=%d) != oracle %d", w.Name, k, aknnTruth)
+				aknnCtx, err := aknn.CostContext(ctx, count, inner, k)
+				run.check(err == nil && aknnCtx == aknnTruth,
+					"%s: aknn CostContext(k=%d) = %d,%v; plain %d", w.Name, k, aknnCtx, err, aknnTruth)
+			}
 
 			for _, tech := range joinTechs {
 				got, err := tech.est.EstimateJoin(k)
 				want, wantErr := tech.ref(k)
 				run.check(err == nil && wantErr == nil && got == want,
 					"%s: %s(k=%d) = %v,%v; oracle %v,%v", w.Name, tech.name, k, got, err, want, wantErr)
-				run.sample(tech.name, got, float64(truth))
+				run.sample(tech.name, got, tech.truth(k))
 			}
 		}
 	}

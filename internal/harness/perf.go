@@ -10,6 +10,7 @@ import (
 	"testing"
 	"time"
 
+	"knncost/internal/aknn"
 	"knncost/internal/core"
 	"knncost/internal/datagen"
 	"knncost/internal/geom"
@@ -129,6 +130,20 @@ func RunPerf(seed int64) ([]PerfResult, error) {
 		{"estimate_join_catalogmerge", func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if _, err := cm.EstimateJoin(1 + i%maxK); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"aknn_summary_build", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				aknn.BuildSummary(count)
+			}
+		}},
+		{"estimate_join_aknn_bounds", func(b *testing.B) {
+			est := aknn.BuildSummary(count).Bind(count, 100)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := est.EstimateJoin(1 + i%maxK); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -1,0 +1,122 @@
+package oracle
+
+import (
+	"errors"
+	"math"
+	"sort"
+
+	"knncost/internal/geom"
+	"knncost/internal/index"
+)
+
+// This file holds the brute-force references for the bounds-only AkNN
+// join of internal/aknn. Everything is recomputed from first principles —
+// the threshold by an O(n^2) scan over candidate values instead of a
+// sort, the neighbor lists by full sorts — so agreement with the package
+// under test is evidence, not tautology.
+
+// AknnScanCount returns the number of candidate inner points the
+// bounds-only pruning test scans for an outer partition with the given
+// bounds. The threshold U is found without sorting: it is the smallest
+// value u among the non-empty blocks' MAXDISTs such that the blocks with
+// MAXDIST <= u jointly hold at least k points, or +Inf when the whole
+// relation holds fewer than k points. Evaluating every candidate value
+// independently makes the result order-independent by construction.
+func AknnScanCount(inner *index.Tree, from geom.Rect, k int) int {
+	if k < 1 {
+		return 0
+	}
+	type blockBound struct {
+		minD, maxD float64
+		count      int
+	}
+	var bs []blockBound
+	for _, b := range inner.Blocks() {
+		if b.Count > 0 {
+			bs = append(bs, blockBound{
+				minD:  minDistRectRect(from, b.Bounds),
+				maxD:  maxDistRectRect(from, b.Bounds),
+				count: b.Count,
+			})
+		}
+	}
+	u := math.Inf(1)
+	for _, cand := range bs {
+		within := 0
+		for _, b := range bs {
+			if b.maxD <= cand.maxD {
+				within += b.count
+			}
+		}
+		if within >= k && cand.maxD < u {
+			u = cand.maxD
+		}
+	}
+	total := 0
+	for _, b := range bs {
+		if b.minD <= u {
+			total += b.count
+		}
+	}
+	return total
+}
+
+// AknnJoinCost returns the ground-truth cost of the bounds-only AkNN join
+// (outer ⋉_aknn inner): the total number of candidate inner points over
+// the non-empty outer blocks.
+func AknnJoinCost(outer, inner *index.Tree, k int) int {
+	total := 0
+	for _, b := range outer.Blocks() {
+		if b.Count == 0 {
+			continue
+		}
+		total += AknnScanCount(inner, b.Bounds, k)
+	}
+	return total
+}
+
+// AknnBoundsEstimate computes the aknn-bounds join estimate the slow way:
+// literal scan-count computations over the spatially distributed block
+// sample, scaled by n_o/s — structurally parallel to BlockSampleEstimate.
+func AknnBoundsEstimate(outer, inner *index.Tree, sampleSize, k int) (float64, error) {
+	if k < 1 {
+		return 0, errK
+	}
+	sample := sampleOrigins(outer, sampleSize)
+	if len(sample) == 0 {
+		return 0, errors.New("oracle: outer relation has no blocks")
+	}
+	agg := 0
+	for _, from := range sample {
+		agg += AknnScanCount(inner, from, k)
+	}
+	scale := float64(numJoinBlocks(outer)) / float64(len(sample))
+	return float64(agg) * scale, nil
+}
+
+// AknnNeighbors returns min(k, len(pts)) nearest neighbors of q among pts
+// by full sort, ties broken by (X, Y) so the result is canonical: any
+// exact AkNN join's neighbor list for q, re-sorted by (distance, X, Y),
+// must match it pair for pair whenever the input holds no two distinct
+// points at equal coordinates... and even then, because equal coordinates
+// make the pairs themselves indistinguishable.
+func AknnNeighbors(pts []geom.Point, q geom.Point, k int) []geom.Point {
+	if k < 1 || len(pts) == 0 {
+		return nil
+	}
+	sorted := append([]geom.Point(nil), pts...)
+	sort.Slice(sorted, func(i, j int) bool {
+		di, dj := pointDist(q, sorted[i]), pointDist(q, sorted[j])
+		if di != dj {
+			return di < dj
+		}
+		if sorted[i].X != sorted[j].X {
+			return sorted[i].X < sorted[j].X
+		}
+		return sorted[i].Y < sorted[j].Y
+	})
+	if k < len(sorted) {
+		sorted = sorted[:k]
+	}
+	return sorted
+}

@@ -1,0 +1,193 @@
+// Differential tests for the bounds-only AkNN join (internal/aknn): join
+// results, ground-truth costs, and the aknn-bounds estimator are all
+// cross-checked against the brute-force references in aknn.go (this
+// package) with exact equality over the seeded corpus.
+package oracle_test
+
+import (
+	"context"
+	"sort"
+	"testing"
+
+	"knncost/internal/aknn"
+	"knncost/internal/geom"
+	"knncost/internal/oracle"
+)
+
+// aknnJoinKs are the k values the AkNN differential suite sweeps: the k<1
+// guard, small and mid k, and (with the 600-point corpus and k=700 added
+// where noted) k past the relation size.
+var aknnJoinKs = []int{0, 1, 3, 17, 64}
+
+// sortPairGroup canonicalizes one outer point's neighbor list by
+// (distance, X, Y). Any exact AkNN join must produce the same multiset of
+// neighbors per outer point; only the choice among points at exactly the
+// k-th distance is free, and those are indistinguishable after this sort
+// precisely when they have equal coordinates too — which the oracle's own
+// tie-break mirrors.
+func sortPairGroup(g []aknn.Pair) {
+	sort.Slice(g, func(i, j int) bool {
+		if g[i].Distance != g[j].Distance {
+			return g[i].Distance < g[j].Distance
+		}
+		if g[i].Inner.X != g[j].Inner.X {
+			return g[i].Inner.X < g[j].Inner.X
+		}
+		return g[i].Inner.Y < g[j].Inner.Y
+	})
+}
+
+// TestAknnJoinResultsMatchBruteForce is the join-result differential: the
+// bounds-only join's output, grouped per outer point and canonicalized,
+// must equal the full-sort brute force pair for pair.
+func TestAknnJoinResultsMatchBruteForce(t *testing.T) {
+	ws := testCorpus(t)
+	for i, w := range ws {
+		w, innerW := w, ws[(i+1)%len(ws)]
+		t.Run(w.Name, func(t *testing.T) {
+			t.Parallel()
+			outer := buildTree(t, w.Points, 32)
+			inner := buildTree(t, innerW.Points, 32)
+			for _, k := range []int{0, 1, 3, 17, len(innerW.Points) + 100} {
+				var pairs []aknn.Pair
+				stats := aknn.Join(outer, inner, k, func(p aknn.Pair) { pairs = append(pairs, p) })
+				if k < 1 {
+					if len(pairs) != 0 || stats.PointsScanned != 0 {
+						t.Fatalf("k=%d emitted %d pairs, scanned %d points", k, len(pairs), stats.PointsScanned)
+					}
+					continue
+				}
+				if want := aknn.Cost(outer, inner, k); stats.PointsScanned != want {
+					t.Fatalf("k=%d: Stats.PointsScanned = %d, Cost %d", k, stats.PointsScanned, want)
+				}
+				group := k
+				if n := len(innerW.Points); n < group {
+					group = n
+				}
+				if len(pairs) != len(w.Points)*group {
+					t.Fatalf("k=%d: %d pairs, want %d points x %d neighbors", k, len(pairs), len(w.Points), group)
+				}
+				for g := 0; g < len(pairs); g += group {
+					chunk := append([]aknn.Pair(nil), pairs[g:g+group]...)
+					q := chunk[0].Outer
+					for _, p := range chunk {
+						if p.Outer != q {
+							t.Fatalf("k=%d: group at %d mixes outer points %v and %v", k, g, q, p.Outer)
+						}
+					}
+					sortPairGroup(chunk)
+					want := oracle.AknnNeighbors(innerW.Points, q, k)
+					for j, p := range chunk {
+						if p.Inner != want[j] {
+							t.Fatalf("k=%d outer %v neighbor %d: got %v (d=%v), brute force %v",
+								k, q, j, p.Inner, p.Distance, want[j])
+						}
+						if p.Distance != q.Dist(p.Inner) {
+							t.Fatalf("k=%d outer %v neighbor %d: recorded distance %v != recomputed %v",
+								k, q, j, p.Distance, q.Dist(p.Inner))
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestAknnCostMatchesOracle pins the ground-truth cost and its context
+// variant against the order-independent O(n^2) reference, on Count-Indexes
+// like every production call site.
+func TestAknnCostMatchesOracle(t *testing.T) {
+	ws := testCorpus(t)
+	for i, w := range ws {
+		w, innerW := w, ws[(i+1)%len(ws)]
+		t.Run(w.Name, func(t *testing.T) {
+			t.Parallel()
+			outer := buildTree(t, w.Points, 32).CountTree()
+			inner := buildTree(t, innerW.Points, 32).CountTree()
+			for _, k := range append(aknnJoinKs, len(innerW.Points)+1) {
+				want := oracle.AknnJoinCost(outer, inner, k)
+				if got := aknn.Cost(outer, inner, k); got != want {
+					t.Fatalf("Cost(k=%d) = %d, oracle %d", k, got, want)
+				}
+				got, err := aknn.CostContext(context.Background(), outer, inner, k)
+				if err != nil || got != want {
+					t.Fatalf("CostContext(k=%d) = %d, %v; oracle %d", k, got, err, want)
+				}
+				// k past the relation size prunes nothing: every non-empty
+				// outer block scans the whole inner relation.
+				if k > len(innerW.Points) {
+					nonEmpty := 0
+					for _, b := range outer.Blocks() {
+						if b.Count > 0 {
+							nonEmpty++
+						}
+					}
+					if want != nonEmpty*len(innerW.Points) {
+						t.Fatalf("k=%d > N: oracle cost %d, want %d blocks x %d points",
+							k, want, nonEmpty, len(innerW.Points))
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestAknnScanSetMatchesOracle checks the per-origin scan set against the
+// reference count, from both data blocks and arbitrary query rectangles.
+func TestAknnScanSetMatchesOracle(t *testing.T) {
+	ws := testCorpus(t)
+	for i, w := range ws {
+		w, innerW := w, ws[(i+1)%len(ws)]
+		t.Run(w.Name, func(t *testing.T) {
+			t.Parallel()
+			inner := buildTree(t, innerW.Points, 32)
+			outer := buildTree(t, w.Points, 32)
+			origins := []geom.Rect{inner.Bounds()}
+			for _, b := range outer.Blocks() {
+				origins = append(origins, b.Bounds)
+			}
+			for _, from := range origins {
+				for _, k := range aknnJoinKs {
+					pts := 0
+					for _, b := range aknn.ScanSet(inner, from, k) {
+						pts += b.Count
+					}
+					if want := oracle.AknnScanCount(inner, from, k); pts != want {
+						t.Fatalf("ScanSet(%v, k=%d) holds %d points, oracle %d", from, k, pts, want)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestAknnBoundsEstimateMatchesOracle pins the sampled estimator against
+// its slow reference, and the full-sample estimator against exact cost.
+func TestAknnBoundsEstimateMatchesOracle(t *testing.T) {
+	ws := testCorpus(t)
+	for i, w := range ws {
+		w, innerW := w, ws[(i+1)%len(ws)]
+		t.Run(w.Name, func(t *testing.T) {
+			t.Parallel()
+			outer := buildTree(t, w.Points, 32).CountTree()
+			inner := buildTree(t, innerW.Points, 32).CountTree()
+			sum := aknn.BuildSummary(inner)
+			for _, sampleSize := range []int{7, 0} {
+				est := sum.Bind(outer, sampleSize)
+				for _, k := range aknnJoinKs {
+					got, err := est.EstimateJoin(k)
+					want, wantErr := oracle.AknnBoundsEstimate(outer, inner, sampleSize, k)
+					if (err == nil) != (wantErr == nil) || got != want {
+						t.Fatalf("s=%d: EstimateJoin(k=%d) = %v, %v; oracle %v, %v",
+							sampleSize, k, got, err, want, wantErr)
+					}
+					if sampleSize <= 0 && k >= 1 {
+						if exact := aknn.Cost(outer, inner, k); got != float64(exact) {
+							t.Fatalf("full-sample estimate(k=%d) = %v, exact cost %d", k, got, exact)
+						}
+					}
+				}
+			}
+		})
+	}
+}

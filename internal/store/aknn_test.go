@@ -1,0 +1,174 @@
+// Store-layer column of the aknn-bounds test suite: the published
+// Snapshot's AkNN summary estimates match the brute-force oracle, survive
+// a warm restart from the disk cache bit-identically with zero rebuilds,
+// and the edge tables (k = 0, k >= N, all duplicates) hold through the
+// engine registry exactly as they do in-process.
+package store
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"knncost/internal/aknn"
+	"knncost/internal/engine"
+	"knncost/internal/geom"
+	"knncost/internal/oracle"
+)
+
+// aknnJoinEstimate resolves aknn-bounds through the view's engine
+// relations — the exact path the service takes.
+func aknnJoinEstimate(t *testing.T, v *View, outer, inner string, k int) (float64, error) {
+	t.Helper()
+	jt, err := engine.LookupJoin(engine.TechAknnBounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := jt.Estimator(v.Relation(outer).Engine, v.Relation(inner).Engine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return est.EstimateJoin(k)
+}
+
+// TestAknnSnapshotMatchesOracle: the published summary, the ground-truth
+// cost, and the registry-resolved estimator all agree with the oracle
+// references derived from nothing but the snapshot's own trees.
+func TestAknnSnapshotMatchesOracle(t *testing.T) {
+	opt := testOptions(t)
+	s := newTestStore(t, opt)
+	if _, err := s.Register("rel", gridPoints(800, 21)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Register("aux", gridPoints(500, 23)); err != nil {
+		t.Fatal(err)
+	}
+	waitReady(t, s)
+	v := s.View()
+	outer, inner := v.Relation("rel"), v.Relation("aux")
+	if outer.Aknn == nil || inner.Aknn == nil {
+		t.Fatal("published snapshot has no AkNN summary")
+	}
+	if inner.Aknn.Total() != 500 {
+		t.Fatalf("aux summary Total = %d, want 500", inner.Aknn.Total())
+	}
+	for _, k := range []int{1, 9, opt.MaxK, opt.MaxK + 13, 800} {
+		if got, want := aknn.Cost(outer.Count, inner.Count, k), oracle.AknnJoinCost(outer.Count, inner.Count, k); got != want {
+			t.Fatalf("Cost(k=%d) = %d, oracle %d", k, got, want)
+		}
+		got, err := inner.Aknn.Bind(outer.Count, opt.SampleSize).EstimateJoin(k)
+		want, wantErr := oracle.AknnBoundsEstimate(outer.Count, inner.Count, opt.SampleSize, k)
+		if err != nil || wantErr != nil || got != want {
+			t.Fatalf("snapshot estimate(k=%d) = %v,%v; oracle %v,%v", k, got, err, want, wantErr)
+		}
+		viaEngine, err := aknnJoinEstimate(t, v, "rel", "aux", k)
+		if err != nil || viaEngine != want {
+			t.Fatalf("engine estimate(k=%d) = %v,%v; oracle %v", k, viaEngine, err, want)
+		}
+	}
+	// The registry path serves the published summary itself, not a rebuild.
+	if got := v.Relation("aux").Engine.AknnSummary(); got != inner.Aknn {
+		t.Fatalf("engine relation rebuilt the summary: %p, published %p", got, inner.Aknn)
+	}
+}
+
+// TestAknnWarmRestartBitIdentical: after a warm restart every aknn-bounds
+// estimate is served from the disk-cached artifact — zero catalog builds —
+// and equals the cold store's answers bit for bit.
+func TestAknnWarmRestartBitIdentical(t *testing.T) {
+	opt := testOptions(t)
+	opt.CacheDir = t.TempDir()
+
+	cold := newTestStore(t, opt)
+	if _, err := cold.Register("rel", gridPoints(900, 31)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cold.Register("aux", gridPoints(400, 33)); err != nil {
+		t.Fatal(err)
+	}
+	waitReady(t, cold)
+	ks := []int{1, 7, opt.MaxK, 400, 1000}
+	coldEst := make([]float64, len(ks))
+	for i, k := range ks {
+		var err error
+		if coldEst[i], err = aknnJoinEstimate(t, cold.View(), "rel", "aux", k); err != nil {
+			t.Fatalf("cold estimate(k=%d): %v", k, err)
+		}
+	}
+	{
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		err := cold.Close(ctx)
+		cancel()
+		if err != nil {
+			t.Fatalf("cold Close: %v", err)
+		}
+	}
+
+	warm := newTestStore(t, opt)
+	waitReady(t, warm)
+	if n := warm.CatalogBuilds(); n != 0 {
+		t.Fatalf("warm restart constructed %d catalogs, want 0", n)
+	}
+	if warm.CacheHits() == 0 {
+		t.Fatal("warm restart recorded no cache hits")
+	}
+	wv := warm.View()
+	if wv.Relation("aux").Aknn.Total() != 400 {
+		t.Fatalf("cached summary Total = %d, want 400", wv.Relation("aux").Aknn.Total())
+	}
+	for i, k := range ks {
+		got, err := aknnJoinEstimate(t, wv, "rel", "aux", k)
+		if err != nil || got != coldEst[i] {
+			t.Fatalf("warm estimate(k=%d) = %v,%v; cold %v", k, got, err, coldEst[i])
+		}
+	}
+	// The cached summary still matches the oracle over the reloaded trees.
+	outer, inner := wv.Relation("rel"), wv.Relation("aux")
+	got, err := inner.Aknn.Bind(outer.Count, opt.SampleSize).EstimateJoin(9)
+	want, wantErr := oracle.AknnBoundsEstimate(outer.Count, inner.Count, opt.SampleSize, 9)
+	if err != nil || wantErr != nil || got != want {
+		t.Fatalf("cached estimate = %v,%v; oracle %v,%v", got, err, want, wantErr)
+	}
+}
+
+// TestAknnStoreEdgeCases: degenerate relations published through the
+// store keep the uniform k contract and exact edge behavior.
+func TestAknnStoreEdgeCases(t *testing.T) {
+	s := newTestStore(t, testOptions(t))
+	tiny := []geom.Point{
+		{X: 1, Y: 1}, {X: 2, Y: 1}, {X: 3, Y: 4},
+		{X: 8, Y: 2}, {X: 9, Y: 9}, {X: 5, Y: 5},
+	}
+	dups := make([]geom.Point, 40)
+	for i := range dups {
+		dups[i] = geom.Point{X: 4, Y: 4}
+	}
+	if _, err := s.Register("tiny", tiny); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Register("dups", dups); err != nil {
+		t.Fatal(err)
+	}
+	waitReady(t, s)
+	v := s.View()
+
+	for _, k := range []int{0, -1} {
+		if _, err := aknnJoinEstimate(t, v, "tiny", "dups", k); err == nil {
+			t.Fatalf("k=%d accepted", k)
+		}
+	}
+	// All duplicates, both roles; k past N; exact agreement throughout.
+	for _, p := range [][2]string{{"tiny", "dups"}, {"dups", "tiny"}} {
+		outer, inner := v.Relation(p[0]), v.Relation(p[1])
+		for _, k := range []int{1, 3, 40, 100} {
+			got, err := aknnJoinEstimate(t, v, p[0], p[1], k)
+			want, wantErr := oracle.AknnBoundsEstimate(outer.Count, inner.Count, s.Options().SampleSize, k)
+			if err != nil || wantErr != nil || got != want {
+				t.Fatalf("%s⋉%s k=%d: %v,%v; oracle %v,%v", p[0], p[1], k, got, err, want, wantErr)
+			}
+			if cost := aknn.Cost(outer.Count, inner.Count, k); cost != oracle.AknnJoinCost(outer.Count, inner.Count, k) {
+				t.Fatalf("%s⋉%s k=%d: cost diverged", p[0], p[1], k)
+			}
+		}
+	}
+}

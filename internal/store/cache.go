@@ -13,6 +13,7 @@ import (
 	"sort"
 	"sync"
 
+	"knncost/internal/aknn"
 	"knncost/internal/core"
 	"knncost/internal/engine"
 	"knncost/internal/geom"
@@ -30,6 +31,7 @@ import (
 //	cat/<fp>/points.bin                  the relation's points (rebuilds the index)
 //	cat/<fp>/staircase-cc.bin            core.Staircase (KNCS format)
 //	cat/<fp>/virtual-grid.bin            core.VirtualGrid (KNVG format)
+//	cat/<fp>/aknn-bounds.bin             aknn.Summary (KNAB format)
 //	merge/<fpOuter>-<fpInner>-catalog-merge.bin  core.CatalogMerge (KNCM format)
 //
 // Per-relation artifact files are named after the engine technique that
@@ -46,7 +48,9 @@ import (
 // to the layout or to what a fingerprint covers. Format 2 renamed the
 // artifact files to technique names (staircase.bin → staircase-cc.bin,
 // vgrid.bin → virtual-grid.bin) and keyed merge files by technique.
-const cacheFormat = 2
+// Format 3 added the aknn-bounds summary artifact; the version is part of
+// every fingerprint, so format-2 entries all miss and rebuild complete.
+const cacheFormat = 3
 
 // manifest records the parameters a cached relation was built with. A
 // manifest that does not match the store's current options is a miss (the
@@ -186,33 +190,42 @@ func (c *diskCache) loadManifest(fp string) (manifest, bool) {
 	return m, true
 }
 
-// loadRelation loads the staircase and virtual grid for fp against the
-// given (freshly rebuilt) data index.
-func (c *diskCache) loadRelation(fp string, tree *index.Tree, opt core.StaircaseOptions) (*core.Staircase, *core.VirtualGrid, error) {
+// loadRelation loads the staircase, virtual grid, and aknn summary for fp
+// against the given (freshly rebuilt) data index.
+func (c *diskCache) loadRelation(fp string, tree *index.Tree, opt core.StaircaseOptions) (*core.Staircase, *core.VirtualGrid, *aknn.Summary, error) {
 	sf, err := os.Open(c.artifactPath(fp, engine.TechStaircaseCC))
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	defer sf.Close()
 	stair, err := core.LoadStaircase(tree, sf, opt)
 	if err != nil {
-		return nil, nil, fmt.Errorf("staircase: %w", err)
+		return nil, nil, nil, fmt.Errorf("staircase: %w", err)
 	}
 	vf, err := os.Open(c.artifactPath(fp, engine.TechVirtualGrid))
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	defer vf.Close()
 	vg, err := core.LoadVirtualGrid(vf)
 	if err != nil {
-		return nil, nil, fmt.Errorf("virtual grid: %w", err)
+		return nil, nil, nil, fmt.Errorf("virtual grid: %w", err)
 	}
-	return stair, vg, nil
+	af, err := os.Open(c.artifactPath(fp, engine.TechAknnBounds))
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	defer af.Close()
+	sum, err := aknn.LoadSummary(af)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("aknn summary: %w", err)
+	}
+	return stair, vg, sum, nil
 }
 
 // storeRelation persists every artifact of one relation build. The manifest
 // is written last: its presence marks the entry complete.
-func (c *diskCache) storeRelation(fp string, m manifest, pts []geom.Point, stair *core.Staircase, vg *core.VirtualGrid) error {
+func (c *diskCache) storeRelation(fp string, m manifest, pts []geom.Point, stair *core.Staircase, vg *core.VirtualGrid, sum *aknn.Summary) error {
 	dir := c.catDir(fp)
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
@@ -233,6 +246,12 @@ func (c *diskCache) storeRelation(fp string, m manifest, pts []geom.Point, stair
 		return err
 	}); err != nil {
 		return fmt.Errorf("virtual grid: %w", err)
+	}
+	if err := writeAtomic(c.artifactPath(fp, engine.TechAknnBounds), func(f *os.File) error {
+		_, err := sum.WriteTo(f)
+		return err
+	}); err != nil {
+		return fmt.Errorf("aknn summary: %w", err)
 	}
 	if err := writeAtomic(filepath.Join(dir, "manifest.json"), func(f *os.File) error {
 		return json.NewEncoder(f).Encode(m)

@@ -46,6 +46,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"knncost/internal/aknn"
 	"knncost/internal/core"
 	"knncost/internal/engine"
 	"knncost/internal/geom"
@@ -205,6 +206,10 @@ type Snapshot struct {
 	Density *core.DensityBased
 	// VGrid is the Virtual-Grid join estimator built over Count (§4.3).
 	VGrid *core.VirtualGrid
+	// Aknn is the bounds-only AkNN join summary built over Count
+	// (internal/aknn) — the inner-relation artifact of the aknn-bounds
+	// technique.
+	Aknn *aknn.Summary
 	// Engine is the relation's engine.Relation, seeded at publication with
 	// the artifacts above so that technique resolution by name serves the
 	// exact same estimator objects. Techniques the store does not precompute
@@ -784,6 +789,7 @@ type builtRelation struct {
 	staircase *core.Staircase
 	density   *core.DensityBased
 	vgrid     *core.VirtualGrid
+	aknn      *aknn.Summary
 	pts       []geom.Point // registration-order source points; nil for index builds
 	fp        string       // empty when not cacheable
 	fromCache bool
@@ -841,11 +847,13 @@ func (s *Store) buildCatalogs(ctx context.Context, name string, pts []geom.Point
 	}
 	s.catalogBuilds.Add(1)
 	b.vgrid = vg
+	b.aknn = aknn.BuildSummary(b.count)
+	s.catalogBuilds.Add(1)
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	if b.fp != "" && s.cache != nil {
-		if err := s.cache.storeRelation(b.fp, s.manifestFor(b, pts), pts, stair, vg); err != nil {
+		if err := s.cache.storeRelation(b.fp, s.manifestFor(b, pts), pts, stair, vg, b.aknn); err != nil {
 			s.opt.logger().Printf("store: caching %q: %v (continuing uncached)", name, err)
 		}
 	}
@@ -859,13 +867,13 @@ func (s *Store) loadCachedCatalogs(b *builtRelation) bool {
 	if !ok || !s.manifestMatches(m, b) {
 		return false
 	}
-	stair, vg, err := s.cache.loadRelation(b.fp, b.tree, core.StaircaseOptions{Fallback: b.density})
+	stair, vg, sum, err := s.cache.loadRelation(b.fp, b.tree, core.StaircaseOptions{Fallback: b.density})
 	if err != nil {
 		s.opt.logger().Printf("store: cache load %s: %v (rebuilding)", shortFP(b.fp), err)
 		return false
 	}
-	b.staircase, b.vgrid = stair, vg
-	s.cacheHits.Add(2) // staircase + virtual grid
+	b.staircase, b.vgrid, b.aknn = stair, vg, sum
+	s.cacheHits.Add(3) // staircase + virtual grid + aknn summary
 	return true
 }
 
@@ -912,6 +920,7 @@ func (s *Store) publishLocked(e *entry, b *builtRelation) {
 	eng.Seed(engine.TechDensity, b.density)
 	eng.Seed(engine.TechStaircaseCC, b.staircase)
 	eng.Seed(engine.TechVirtualGrid, b.vgrid)
+	eng.Seed(engine.TechAknnBounds, b.aknn)
 	snap := &Snapshot{
 		Name:           e.name,
 		Version:        version,
@@ -922,6 +931,7 @@ func (s *Store) publishLocked(e *entry, b *builtRelation) {
 		Staircase:      b.staircase,
 		Density:        b.density,
 		VGrid:          b.vgrid,
+		Aknn:           b.aknn,
 		Engine:         eng,
 		StaircaseBytes: b.staircase.StorageBytes(),
 		VGridBytes:     b.vgrid.StorageBytes(),

@@ -11,11 +11,12 @@ cd "$(dirname "$0")/.."
 go vet ./...
 sh scripts/lint.sh
 go test ./...
-go test -race ./internal/core/... ./internal/engine/... ./internal/wal/... ./internal/store/... ./internal/optimizer/... ./internal/service/... ./internal/faultinject/... ./internal/oracle/... ./internal/shard/... ./cmd/knncostd/...
+go test -race ./internal/core/... ./internal/engine/... ./internal/aknn/... ./internal/wal/... ./internal/store/... ./internal/optimizer/... ./internal/service/... ./internal/faultinject/... ./internal/oracle/... ./internal/shard/... ./cmd/knncostd/...
 go test -run xxx -bench 'BenchmarkEstimateSelectHot|BenchmarkStaircaseBuildAlloc|BenchmarkFig13SelectPreprocessCC' -benchtime 1x .
 
 # Coverage floors: per-package statement coverage, internal/engine >= 85%,
-# internal/shard >= 78%, internal/wal >= 80%, internal/optimizer >= 80%.
+# internal/aknn >= 85%, internal/shard >= 78%, internal/wal >= 80%,
+# internal/optimizer >= 80%.
 sh scripts/cover.sh
 
 # Sharded-tier smoke: three shard daemons + router, a routed registration,
@@ -40,3 +41,6 @@ go run ./cmd/knnbench -accuracy -baseline results/ACCURACY_BASELINE.json
 # explores new inputs for a couple of seconds per target.
 go test -run xxx -fuzz FuzzEstimateSelect -fuzztime 2s ./internal/oracle/
 go test -run xxx -fuzz FuzzJoinCost -fuzztime 2s ./internal/oracle/
+go test -run xxx -fuzz 'FuzzAknnJoin$' -fuzztime 2s ./internal/aknn/
+go test -run xxx -fuzz FuzzAknnBoundsEstimate -fuzztime 2s ./internal/aknn/
+go test -run xxx -fuzz FuzzLoadAknnSummary -fuzztime 2s ./internal/aknn/

@@ -1,7 +1,8 @@
 #!/bin/sh
 # Coverage gate: print per-package statement coverage and fail when a
 # floored package drops below its floor — internal/engine (the technique
-# registry and relation engine every layer rests on), internal/shard (the
+# registry and relation engine every layer rests on), internal/aknn (the
+# bounds-only AkNN join and its estimator), internal/shard (the
 # scatter-gather routing tier), internal/wal (the crash-safety foundation
 # of streaming ingest), and internal/optimizer (the multi-predicate plan
 # enumerator and its invalidation-correct plan cache).
@@ -43,6 +44,7 @@ check_floor() {
 }
 
 check_floor knncost/internal/engine 85.0
+check_floor knncost/internal/aknn 85.0
 check_floor knncost/internal/shard 78.0
 check_floor knncost/internal/wal 80.0
 check_floor knncost/internal/optimizer 80.0

@@ -162,6 +162,9 @@ expvar_builds() {
 }
 
 PROBE="/estimate/select?rel=restaurants&x=10&y=45&k=20"
+# The join probe pins the bounds-only AkNN estimator across the restart:
+# its summary artifact must come out of the disk cache bit-identical.
+JPROBE="/estimate/join?outer=hotels&inner=restaurants&k=20&technique=aknn-bounds"
 
 start_cached
 echo "soak: cold cached daemon pid=$PID addr=$ADDR"
@@ -172,6 +175,8 @@ wait_relation runtime
 COLD_BUILDS=$(expvar_builds)
 COLD_EST=$(curl -fsS "$BASE$PROBE" | sed -n 's/.*"blocks":\([0-9.e+-]*\).*/\1/p')
 [ -n "$COLD_EST" ] || { echo "soak: cold estimate malformed"; kill "$PID"; exit 1; }
+COLD_JEST=$(curl -fsS "$BASE$JPROBE" | sed -n 's/.*"blocks":\([0-9.e+-]*\).*/\1/p')
+[ -n "$COLD_JEST" ] || { echo "soak: cold aknn-bounds estimate malformed"; kill "$PID"; exit 1; }
 [ "$COLD_BUILDS" -gt 0 ] || { echo "soak: cold run built no catalogs"; kill "$PID"; exit 1; }
 kill -TERM "$PID"; wait "$PID" || { echo "soak: cold cached daemon exited dirty"; exit 1; }
 
@@ -180,6 +185,7 @@ echo "soak: warm daemon pid=$PID addr=$ADDR"
 wait_relation runtime
 WARM_BUILDS=$(expvar_builds)
 WARM_EST=$(curl -fsS "$BASE$PROBE" | sed -n 's/.*"blocks":\([0-9.e+-]*\).*/\1/p')
+WARM_JEST=$(curl -fsS "$BASE$JPROBE" | sed -n 's/.*"blocks":\([0-9.e+-]*\).*/\1/p')
 kill -TERM "$PID"; wait "$PID" || { echo "soak: warm daemon exited dirty"; exit 1; }
 
 if [ "$WARM_BUILDS" != "0" ]; then
@@ -188,7 +194,10 @@ fi
 if [ "$WARM_EST" != "$COLD_EST" ]; then
   echo "soak: warm estimate $WARM_EST != cold $COLD_EST"; exit 1
 fi
-echo "soak: warm restart OK (builds=0, estimate identical: $WARM_EST)"
+if [ "$WARM_JEST" != "$COLD_JEST" ]; then
+  echo "soak: warm aknn-bounds estimate $WARM_JEST != cold $COLD_JEST"; exit 1
+fi
+echo "soak: warm restart OK (builds=0, estimates identical: $WARM_EST / aknn $WARM_JEST)"
 
 fi # PHASE = all
 
@@ -275,6 +284,28 @@ EST1=$(curl -fsS "$RBASE$SPROBE" | sed -n 's/.*"blocks":\([0-9.e+-]*\).*/\1/p')
 [ -n "$EST1" ] || { echo "soak: routed estimate malformed"; exit 1; }
 echo "soak: routed estimate blocks=$EST1"
 
+# A second relation gives the router a join pair; the aknn-bounds answer
+# must be bit-identical before and after the rebalance below.
+GEO2_POINTS=$(awk 'BEGIN{
+  printf "[";
+  for (i = 0; i < 250; i++) {
+    a = i * 0.53; r = 2 + i * 0.13;
+    printf "%s[%.6f,%.6f]", (i ? "," : ""), r * cos(a) / 2, r * sin(a);
+  }
+  printf "]";
+}')
+curl -fsS -X POST -H 'Content-Type: application/json' \
+  -d "{\"name\":\"geo2\",\"points\":$GEO2_POINTS}" \
+  "$RBASE/relations" >/dev/null || { echo "soak: geo2 routed registration failed"; exit 1; }
+for i in $(seq 1 300); do
+  if curl -fsS "$RBASE/relations/geo2/status" 2>/dev/null | grep -q '"state":"ready"'; then break; fi
+  sleep 0.1
+done
+SJPROBE="/estimate/join?outer=geo&inner=geo2&k=20&technique=aknn-bounds"
+JEST1=$(curl -fsS "$RBASE$SJPROBE" | sed -n 's/.*"blocks":\([0-9.e+-]*\).*/\1/p')
+[ -n "$JEST1" ] || { echo "soak: routed aknn-bounds estimate malformed"; exit 1; }
+echo "soak: routed aknn-bounds estimate blocks=$JEST1"
+
 # Rebalance: bring up a fresh shard and restart the router over the
 # four-shard peer list. The first routed estimate after the restart lands
 # on s4 (the new ring primary for geo), which must self-heal via a warm
@@ -287,6 +318,10 @@ EST2=$(curl -fsS "$RBASE$SPROBE" | sed -n 's/.*"blocks":\([0-9.e+-]*\).*/\1/p')
 if [ "$EST2" != "$EST1" ]; then
   echo "soak: post-rebalance estimate $EST2 != pre-rebalance $EST1"; exit 1
 fi
+JEST2=$(curl -fsS "$RBASE$SJPROBE" | sed -n 's/.*"blocks":\([0-9.e+-]*\).*/\1/p')
+if [ "$JEST2" != "$JEST1" ]; then
+  echo "soak: post-rebalance aknn-bounds estimate $JEST2 != pre-rebalance $JEST1"; exit 1
+fi
 
 RESTORES=$(curl -fsS "$RBASE/debug/vars" | sed -n 's/.*"knnrouter_rebalance_restores": *\([0-9][0-9]*\).*/\1/p')
 [ "${RESTORES:-0}" -gt 0 ] || { echo "soak: no rebalance warm restore counted (restores=${RESTORES:-unset})"; exit 1; }
@@ -294,7 +329,7 @@ S4_BUILDS=$(curl -fsS "http://$ADDR_s4/debug/vars" | sed -n 's/.*"knncost_catalo
 if [ "$S4_BUILDS" != "0" ]; then
   echo "soak: rebalance restore built $S4_BUILDS catalogs on s4, want 0 (warm restore)"; exit 1
 fi
-echo "soak: rebalance OK (restores=$RESTORES, s4 builds=0, estimate identical: $EST2)"
+echo "soak: rebalance OK (restores=$RESTORES, s4 builds=0, estimates identical: $EST2 / aknn $JEST2)"
 
 # Drain everything cleanly.
 kill -TERM "$RPID"; wait "$RPID" || { echo "soak: router exited dirty"; exit 1; }
