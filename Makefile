@@ -51,6 +51,7 @@ check: vet
 	sh scripts/soak.sh shard
 	sh scripts/soak.sh ingest
 	sh scripts/soak.sh plan
+	sh scripts/soak.sh mmap
 	$(MAKE) accuracy
 	$(MAKE) fuzz-smoke
 

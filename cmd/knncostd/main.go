@@ -120,6 +120,13 @@ func publishStoreVars(st *store.Store) {
 		expvar.Publish("knncost_wal_replayed", counter((*store.Store).WALReplayed))
 		expvar.Publish("knncost_wal_truncated_tails", counter((*store.Store).WALTruncatedTails))
 		expvar.Publish("knncost_compactions", counter((*store.Store).Compactions))
+		expvar.Publish("knncost_tuner_passes", counter((*store.Store).TunerPasses))
+		expvar.Publish("knncost_tuner_shrinks", counter((*store.Store).TunerShrinks))
+		expvar.Publish("knncost_tuner_grows", counter((*store.Store).TunerGrows))
+		expvar.Publish("knncost_tuner_reverts", counter((*store.Store).TunerReverts))
+		expvar.Publish("knncost_tuner_blocked", counter((*store.Store).TunerBlocked))
+		expvar.Publish("knncost_tuner_total_bytes", counter((*store.Store).ArtifactBytes))
+		expvar.Publish("knncost_tuner_budget_bytes", counter((*store.Store).TunerBudgetBytes))
 	})
 }
 
@@ -178,6 +185,12 @@ func run(args []string, stdout io.Writer) int {
 			"WAL segment rotation size in bytes (0 means the built-in default)")
 		planCache = fs.Int("plan-cache", 0,
 			"plan cache capacity in entries (0 means the built-in default)")
+		catalogBudget = fs.Int64("catalog-budget-bytes", 0,
+			"global artifact byte budget enforced by the space auto-tuner (0 disables tuning)")
+		tunerInterval = fs.Duration("tuner-interval", 0,
+			"auto-tuner pass interval (0 means 5s, negative disables the background loop)")
+		tunerTolerance = fs.Float64("tuner-qerror-tolerance", 0,
+			"worst select q-error a coarsened relation may show before the tuner reverts it (0 means 2.0)")
 
 		estimateDeadline = fs.Duration("deadline-estimate", 5*time.Second,
 			"per-request deadline for /estimate/* and metadata routes (0 disables)")
@@ -265,6 +278,10 @@ func run(args []string, stdout io.Writer) int {
 		CompactInterval:  *compactInterval,
 		WALSyncInterval:  *walSyncInterval,
 		WALSegmentBytes:  *walSegmentBytes,
+
+		CatalogBudgetBytes:   *catalogBudget,
+		TunerInterval:        *tunerInterval,
+		TunerQErrorTolerance: *tunerTolerance,
 	})
 	if err != nil {
 		log.Printf("knncostd: %v", err)

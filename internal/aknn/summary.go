@@ -8,6 +8,7 @@ import (
 	"io"
 	"math"
 
+	"knncost/internal/core"
 	"knncost/internal/geom"
 	"knncost/internal/index"
 )
@@ -27,23 +28,63 @@ type Partition struct {
 // no MaxK clamp. A Summary is immutable after construction and safe for
 // concurrent use.
 type Summary struct {
-	parts []Partition
-	total int
+	parts    []Partition
+	total    int
+	capacity int
 }
 
 // BuildSummary summarizes a relation's index in one pass. The tree may be
 // a data index or its Count-Index; only bounds and counts are read. An
 // empty relation yields an empty summary (estimates against it are 0).
 func BuildSummary(inner *index.Tree) *Summary {
-	s := &Summary{}
+	return BuildSummaryCapacity(inner, 0)
+}
+
+// BuildSummaryCapacity is BuildSummary with a partition capacity — the
+// AkNN axis of core.Resolution. capacity <= 0 keeps one partition per
+// non-empty block (the finest, exact-reproducing summary). capacity > 0
+// coalesces consecutive non-empty blocks (in Blocks() enumeration order, a
+// space-filling order for quadtrees) into partitions of at least capacity
+// points, shrinking the summary at a bounded accuracy cost: a coalesced
+// partition's bounds are the union of its blocks', so the bounds-only
+// threshold stays an upper bound and candidate counts stay conservative.
+func BuildSummaryCapacity(inner *index.Tree, capacity int) *Summary {
+	if capacity < 0 {
+		capacity = 0
+	}
+	s := &Summary{capacity: capacity}
+	var cur Partition
+	open := false
 	for _, b := range inner.Blocks() {
-		if b.Count > 0 {
-			s.parts = append(s.parts, Partition{Bounds: b.Bounds, Count: b.Count})
-			s.total += b.Count
+		if b.Count == 0 {
+			continue
 		}
+		s.total += b.Count
+		if capacity <= 0 {
+			s.parts = append(s.parts, Partition{Bounds: b.Bounds, Count: b.Count})
+			continue
+		}
+		if !open {
+			cur = Partition{Bounds: b.Bounds, Count: b.Count}
+			open = true
+		} else {
+			cur.Bounds = cur.Bounds.Union(b.Bounds)
+			cur.Count += b.Count
+		}
+		if cur.Count >= capacity {
+			s.parts = append(s.parts, cur)
+			open = false
+		}
+	}
+	if open {
+		s.parts = append(s.parts, cur)
 	}
 	return s
 }
+
+// Capacity returns the partition capacity the summary was built with; zero
+// means one partition per block.
+func (s *Summary) Capacity() int { return s.capacity }
 
 // NumPartitions returns the number of summarized (non-empty) partitions.
 func (s *Summary) NumPartitions() int { return len(s.parts) }
@@ -151,8 +192,14 @@ func numJoinBlocks(t *index.Tree) int {
 // summaryMagic heads the serialized Summary format (KNAB, version 1):
 // magic, uvarint partition count, uvarint total point count, then per
 // partition four little-endian float64 bounds (minX minY maxX maxY) and a
-// uvarint count.
-const summaryMagic = "KNAB\x01"
+// uvarint count. Version 2 (summaryMagicV2) inserts a uvarint partition
+// capacity between the total and the partitions; capacity-0 summaries
+// still serialize as version 1, so every pre-capacity file and fuzz-corpus
+// input remains byte-identical and loadable.
+const (
+	summaryMagic   = "KNAB\x01"
+	summaryMagicV2 = "KNAB\x02"
+)
 
 // maxSanePartitions bounds what LoadSummary accepts from a hostile or
 // corrupt count field (a 256 MiB summary).
@@ -169,9 +216,16 @@ func (s *Summary) WriteTo(w io.Writer) (int64, error) {
 		buf = buf[:0]
 		return err
 	}
-	buf = append(buf, summaryMagic...)
+	if s.capacity > 0 {
+		buf = append(buf, summaryMagicV2...)
+	} else {
+		buf = append(buf, summaryMagic...)
+	}
 	buf = binary.AppendUvarint(buf, uint64(len(s.parts)))
 	buf = binary.AppendUvarint(buf, uint64(s.total))
+	if s.capacity > 0 {
+		buf = binary.AppendUvarint(buf, uint64(s.capacity))
+	}
 	for _, p := range s.parts {
 		for _, f := range [4]float64{p.Bounds.Min.X, p.Bounds.Min.Y, p.Bounds.Max.X, p.Bounds.Max.Y} {
 			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(f))
@@ -192,6 +246,9 @@ func (s *Summary) StorageBytes() int {
 	n := len(summaryMagic)
 	n += binary.PutUvarint(scratch[:], uint64(len(s.parts)))
 	n += binary.PutUvarint(scratch[:], uint64(s.total))
+	if s.capacity > 0 {
+		n += binary.PutUvarint(scratch[:], uint64(s.capacity))
+	}
 	for _, p := range s.parts {
 		n += 32 + binary.PutUvarint(scratch[:], uint64(p.Count))
 	}
@@ -209,7 +266,8 @@ func LoadSummary(r io.Reader) (*Summary, error) {
 	if _, err := io.ReadFull(br, magic); err != nil {
 		return nil, fmt.Errorf("aknn: summary header: %w", err)
 	}
-	if string(magic) != summaryMagic {
+	v2 := string(magic) == summaryMagicV2
+	if !v2 && string(magic) != summaryMagic {
 		return nil, errors.New("aknn: bad summary magic")
 	}
 	n, err := binary.ReadUvarint(br)
@@ -227,6 +285,16 @@ func LoadSummary(r io.Reader) (*Summary, error) {
 		return nil, fmt.Errorf("aknn: implausible total %d", total)
 	}
 	s := &Summary{}
+	if v2 {
+		capacity, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("aknn: partition capacity: %w", err)
+		}
+		if capacity < 1 || capacity > math.MaxInt32 {
+			return nil, fmt.Errorf("aknn: implausible partition capacity %d", capacity)
+		}
+		s.capacity = int(capacity)
+	}
 	var rec [32]byte
 	var cum uint64
 	for i := uint64(0); i < n; i++ {
@@ -265,3 +333,14 @@ func LoadSummary(r io.Reader) (*Summary, error) {
 	s.total = int(total)
 	return s, nil
 }
+
+// Resolution implements core.Artifact. Only the AknnCapacity axis applies
+// to a summary; the others report the defaults.
+func (s *Summary) Resolution() core.Resolution {
+	return core.Resolution{AknnCapacity: s.capacity}.Canon()
+}
+
+// SizeBytes implements core.Artifact.
+func (s *Summary) SizeBytes() int { return s.StorageBytes() }
+
+var _ core.Artifact = (*Summary)(nil)

@@ -1,0 +1,89 @@
+package catalog
+
+import (
+	"encoding/binary"
+	"errors"
+	"unsafe"
+)
+
+// Aligned encoding: the zero-copy counterpart of MarshalBinary. Where the
+// varint format optimizes for size (the paper's storage metric), the
+// aligned format optimizes for load time — fixed-width records that an
+// mmap'd cache file can serve in place, without decoding or heap copies.
+//
+// Layout: a little-endian uint64 entry count, then count records of three
+// little-endian uint64 words (StartK, EndK, Cost). Every piece is a
+// multiple of 8 bytes, so consecutive aligned catalogs in one file keep
+// each other 8-byte aligned; on a little-endian 64-bit host the record
+// block is bit-identical to the in-memory []Entry and is borrowed
+// directly via unsafe.Slice. Other hosts (and misaligned inputs) fall
+// back to an allocating decode of the same bytes, so files are portable.
+
+// alignedEntrySize is the fixed record width: three 64-bit words.
+const alignedEntrySize = 24
+
+// canBorrowAligned reports whether the in-memory Entry layout matches the
+// aligned encoding bit for bit: 64-bit ints laid out contiguously on a
+// little-endian host. Evaluated once at startup.
+var canBorrowAligned = func() bool {
+	if unsafe.Sizeof(Entry{}) != alignedEntrySize {
+		return false
+	}
+	probe := uint64(1)
+	return *(*byte)(unsafe.Pointer(&probe)) == 1
+}()
+
+// AlignedSize returns the aligned encoding's size: 8 + 24*Len() bytes,
+// always a multiple of 8.
+func (c *Catalog) AlignedSize() int { return 8 + alignedEntrySize*len(c.entries) }
+
+// AppendAligned appends the aligned encoding of c to buf.
+func (c *Catalog) AppendAligned(buf []byte) []byte {
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(c.entries)))
+	for _, e := range c.entries {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(e.StartK))
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(e.EndK))
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(e.Cost))
+	}
+	return buf
+}
+
+// BorrowAligned replaces c's entries with ones read from an aligned
+// encoding at the start of data, returning the number of bytes consumed.
+// When the host layout permits (see canBorrowAligned) and data[8:] is
+// 8-byte aligned, the entries are borrowed — they alias data, typically an
+// mmap'd cache file, and stay valid only as long as the mapping does; the
+// caller owns that lifetime (the store pins the mapping on the snapshot
+// that serves the catalog). A borrowed catalog is read-only: Append and
+// Reset on it are undefined. Truncated or over-long counts are rejected
+// before anything is sized by them.
+func (c *Catalog) BorrowAligned(data []byte) (int, error) {
+	if len(data) < 8 {
+		return 0, errors.New("catalog: truncated aligned header")
+	}
+	n := binary.LittleEndian.Uint64(data)
+	if n > uint64((len(data)-8)/alignedEntrySize) {
+		return 0, errors.New("catalog: aligned entry count exceeds payload")
+	}
+	size := 8 + int(n)*alignedEntrySize
+	if n == 0 {
+		c.entries = nil
+		return size, nil
+	}
+	body := data[8:size]
+	if canBorrowAligned && uintptr(unsafe.Pointer(&body[0]))%8 == 0 {
+		c.entries = unsafe.Slice((*Entry)(unsafe.Pointer(&body[0])), int(n))
+		return size, nil
+	}
+	entries := make([]Entry, n)
+	for i := range entries {
+		off := i * alignedEntrySize
+		entries[i] = Entry{
+			StartK: int(binary.LittleEndian.Uint64(body[off:])),
+			EndK:   int(binary.LittleEndian.Uint64(body[off+8:])),
+			Cost:   int(binary.LittleEndian.Uint64(body[off+16:])),
+		}
+	}
+	c.entries = entries
+	return size, nil
+}

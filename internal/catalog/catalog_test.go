@@ -2,6 +2,7 @@ package catalog
 
 import (
 	"math/rand"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -129,18 +130,36 @@ func TestMergeSumFigure8(t *testing.T) {
 }
 
 func TestMergeErrors(t *testing.T) {
-	if _, err := MergeSum(nil); err == nil {
-		t.Error("merging zero catalogs should fail")
-	}
 	a := &Catalog{}
 	mustAppend(t, a, 1, 100, 1)
 	b := &Catalog{}
 	mustAppend(t, b, 1, 50, 1)
-	if _, err := MergeSum([]*Catalog{a, b}); err == nil {
-		t.Error("mismatched domains should fail")
+
+	// Both merge flavors share the validation, and the messages are load
+	// bearing: the store surfaces them verbatim when a mixed-resolution
+	// fleet hands mismatched-MaxK catalogs to a pairwise merge.
+	merges := []struct {
+		name  string
+		merge func([]*Catalog) (*Catalog, error)
+	}{
+		{"MergeSum", MergeSum},
+		{"MergeMax", MergeMax},
 	}
-	if _, err := MergeSum([]*Catalog{a, {}}); err == nil {
-		t.Error("empty input catalog should fail")
+	for _, m := range merges {
+		if _, err := m.merge(nil); err == nil || err.Error() != "catalog: merge of zero catalogs" {
+			t.Errorf("%s(nil) error = %v, want 'catalog: merge of zero catalogs'", m.name, err)
+		}
+		if _, err := m.merge([]*Catalog{}); err == nil || err.Error() != "catalog: merge of zero catalogs" {
+			t.Errorf("%s(empty) error = %v, want 'catalog: merge of zero catalogs'", m.name, err)
+		}
+		if _, err := m.merge([]*Catalog{a, b}); err == nil ||
+			err.Error() != "catalog: merge input 1 covers up to 50, want 100" {
+			t.Errorf("%s(mismatched MaxK) error = %v, want 'catalog: merge input 1 covers up to 50, want 100'", m.name, err)
+		}
+		if _, err := m.merge([]*Catalog{a, {}}); err == nil ||
+			!strings.Contains(err.Error(), "merge input 1") {
+			t.Errorf("%s(empty input catalog) error = %v, want a 'merge input 1' validation error", m.name, err)
+		}
 	}
 }
 

@@ -1,0 +1,209 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"knncost/internal/geom"
+)
+
+func TestResolutionCanon(t *testing.T) {
+	cases := []struct {
+		name string
+		in   Resolution
+		want Resolution
+	}{
+		{"zero value gets every default",
+			Resolution{},
+			Resolution{MaxK: DefaultMaxK, Corners: 1, GridSize: DefaultGridSize}},
+		{"explicit axes survive",
+			Resolution{MaxK: 128, Corners: 4, GridSize: 7, AknnCapacity: 256},
+			Resolution{MaxK: 128, Corners: 4, GridSize: 7, AknnCapacity: 256}},
+		{"negative corners mean center-only",
+			Resolution{MaxK: 64, Corners: -7, GridSize: 3},
+			Resolution{MaxK: 64, Corners: -1, GridSize: 3}},
+		{"negative aknn capacity clamps to finest",
+			Resolution{MaxK: 64, GridSize: 3, AknnCapacity: -5},
+			Resolution{MaxK: 64, Corners: 1, GridSize: 3}},
+	}
+	for _, c := range cases {
+		if got := c.in.Canon(); got != c.want {
+			t.Errorf("%s: Canon(%+v) = %+v, want %+v", c.name, c.in, got, c.want)
+		}
+	}
+	// Canon must be idempotent: canonical resolutions are map keys.
+	for _, c := range cases {
+		once := c.in.Canon()
+		if twice := once.Canon(); twice != once {
+			t.Errorf("%s: Canon not idempotent: %+v then %+v", c.name, once, twice)
+		}
+	}
+}
+
+func TestResolutionValidate(t *testing.T) {
+	valid := []Resolution{
+		{},
+		{MaxK: 1, Corners: -1, GridSize: 1},
+		{MaxK: 5000, Corners: 4, GridSize: 100, AknnCapacity: 1 << 20},
+	}
+	for _, r := range valid {
+		if err := r.Validate(); err != nil {
+			t.Errorf("Validate(%+v) = %v, want nil", r, err)
+		}
+	}
+	invalid := []Resolution{
+		{MaxK: -3},
+		{Corners: 2},
+		{Corners: 3},
+		{GridSize: -1},
+	}
+	for _, r := range invalid {
+		if err := r.Validate(); err == nil {
+			t.Errorf("Validate(%+v) accepted an unbuildable resolution", r)
+		}
+	}
+}
+
+func TestResolutionStaircaseMode(t *testing.T) {
+	cases := []struct {
+		corners int
+		want    StaircaseMode
+	}{{-1, ModeCenterOnly}, {0, ModeCenterCorners}, {1, ModeCenterCorners}, {4, ModeCenterQuadrant}}
+	for _, c := range cases {
+		r := Resolution{Corners: c.corners}
+		if got := r.StaircaseMode(); got != c.want {
+			t.Errorf("Corners %d: StaircaseMode() = %v, want %v", c.corners, got, c.want)
+		}
+		// cornersOfMode inverts the mapping for every reachable mode.
+		if got := cornersOfMode(c.want); (Resolution{Corners: got}).StaircaseMode() != c.want {
+			t.Errorf("cornersOfMode(%v) = %d does not map back", c.want, got)
+		}
+	}
+}
+
+func TestResolutionKey(t *testing.T) {
+	if got, want := (Resolution{}).Key(), "k1000.c1.g10.a0"; got != want {
+		t.Fatalf("zero-value Key() = %q, want %q", got, want)
+	}
+	if got, want := (Resolution{MaxK: 64, Corners: -1, GridSize: 2, AknnCapacity: 128}).Key(), "k64.c-1.g2.a128"; got != want {
+		t.Fatalf("Key() = %q, want %q", got, want)
+	}
+	// Keys must distinguish canonically distinct resolutions — the disk
+	// cache fingerprints on them.
+	seen := map[string]Resolution{}
+	for _, r := range []Resolution{
+		{}, {MaxK: 500}, {Corners: 4}, {Corners: -1}, {GridSize: 5}, {AknnCapacity: 64},
+	} {
+		k := r.Key()
+		if prev, dup := seen[k]; dup {
+			t.Errorf("Key %q collides: %+v and %+v", k, prev, r)
+		}
+		seen[k] = r
+	}
+}
+
+// TestResolutionCoarserLadder walks the full tuner ladder from a
+// representative production resolution and asserts the documented order
+// (MaxK halves to 64, then GridSize halves to 2, then AknnCapacity doubles
+// from 64 to 4096), termination, and the exhaustion fixed point.
+func TestResolutionCoarserLadder(t *testing.T) {
+	r := Resolution{MaxK: 1000, GridSize: 10}.Canon()
+	var ladder []Resolution
+	for i := 0; i < 100; i++ {
+		next := r.Coarser()
+		if next == r {
+			break
+		}
+		ladder = append(ladder, next)
+		r = next
+	}
+	want := []Resolution{
+		{MaxK: 500, Corners: 1, GridSize: 10},
+		{MaxK: 250, Corners: 1, GridSize: 10},
+		{MaxK: 125, Corners: 1, GridSize: 10},
+		{MaxK: 64, Corners: 1, GridSize: 10},
+		{MaxK: 64, Corners: 1, GridSize: 5},
+		{MaxK: 64, Corners: 1, GridSize: 2},
+		{MaxK: 64, Corners: 1, GridSize: 2, AknnCapacity: 64},
+		{MaxK: 64, Corners: 1, GridSize: 2, AknnCapacity: 128},
+		{MaxK: 64, Corners: 1, GridSize: 2, AknnCapacity: 256},
+		{MaxK: 64, Corners: 1, GridSize: 2, AknnCapacity: 512},
+		{MaxK: 64, Corners: 1, GridSize: 2, AknnCapacity: 1024},
+		{MaxK: 64, Corners: 1, GridSize: 2, AknnCapacity: 2048},
+		{MaxK: 64, Corners: 1, GridSize: 2, AknnCapacity: 4096},
+	}
+	if len(ladder) != len(want) {
+		t.Fatalf("ladder has %d rungs, want %d: %+v", len(ladder), len(want), ladder)
+	}
+	for i := range want {
+		if ladder[i] != want[i] {
+			t.Fatalf("rung %d = %+v, want %+v", i, ladder[i], want[i])
+		}
+	}
+	// The floor is a fixed point, and Corners is never tuned.
+	floor := ladder[len(ladder)-1]
+	if floor.Coarser() != floor {
+		t.Fatalf("floor %+v is not a fixed point", floor)
+	}
+	quad := Resolution{MaxK: 64, Corners: 4, GridSize: 2, AknnCapacity: 4096}
+	if got := quad.Coarser(); got.Corners != 4 {
+		t.Fatalf("Coarser tuned Corners: %+v", got)
+	}
+}
+
+func TestResolutionCoarserN(t *testing.T) {
+	r := Resolution{MaxK: 256, GridSize: 4}.Canon()
+	step := r
+	for n := 0; n < 20; n++ {
+		if got := r.CoarserN(n); got != step {
+			t.Fatalf("CoarserN(%d) = %+v, want %+v", n, got, step)
+		}
+		step = step.Coarser()
+	}
+	// Overshooting the ladder stops at the floor instead of looping.
+	if got, floor := r.CoarserN(1000), r.CoarserN(20); got != floor {
+		t.Fatalf("CoarserN(1000) = %+v, want the floor %+v", got, floor)
+	}
+}
+
+// TestArtifactSizeBytes: every core artifact must report its resolution
+// and a positive byte footprint — the quantities the store's space-budget
+// tuner accounts against -catalog-budget-bytes.
+func TestArtifactSizeBytes(t *testing.T) {
+	rng := rand.New(rand.NewSource(46))
+	bounds := geom.NewRect(0, 0, 100, 100)
+	data := buildIx(clusteredPoints(rng, 1000, bounds), bounds, 32)
+
+	stair, err := BuildStaircase(data, StaircaseOptions{MaxK: 80, Mode: ModeCenterQuadrant})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vg, err := BuildVirtualGrid(data.CountTree(), 4, 4, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm, err := BuildCatalogMerge(data.CountTree(), data.CountTree(), 10, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dens := NewDensityBased(data.CountTree())
+
+	arts := []struct {
+		name string
+		a    Artifact
+		want Resolution
+	}{
+		{"staircase", stair, Resolution{MaxK: 80, Corners: 4}.Canon()},
+		{"virtual-grid", vg, Resolution{MaxK: 80, GridSize: 4}.Canon()},
+		{"catalog-merge", cm, Resolution{MaxK: 80}.Canon()},
+		{"density", dens, DefaultResolution()},
+	}
+	for _, a := range arts {
+		if got := a.a.Resolution(); got != a.want {
+			t.Errorf("%s: Resolution() = %+v, want %+v", a.name, got, a.want)
+		}
+		if got := a.a.SizeBytes(); got <= 0 {
+			t.Errorf("%s: SizeBytes() = %d, want > 0", a.name, got)
+		}
+	}
+}

@@ -94,6 +94,7 @@ type Staircase struct {
 	mode     StaircaseMode
 	maxK     int
 	fallback SelectEstimator
+	pin      any // keeps a borrowed mapping alive; see Pin
 }
 
 // stairScratch is the per-goroutine working set of the staircase builder:

@@ -35,11 +35,19 @@ import (
 type BuildOptions struct {
 	// MaxK is the largest catalog-maintained k. Zero means core.DefaultMaxK.
 	MaxK int
+	// Corners is the staircase corner budget of core.Resolution: 0 means
+	// the default merged corners-catalog, negative means center-only, 4
+	// keeps the per-quadrant set.
+	Corners int
 	// SampleSize is the sample size of the join techniques (Block-Sample,
 	// Catalog-Merge). Zero means 200.
 	SampleSize int
-	// GridSize is the Virtual-Grid dimension. Zero means 10.
+	// GridSize is the Virtual-Grid dimension. Zero means
+	// core.DefaultGridSize.
 	GridSize int
+	// AknnCapacity is the minimum points per AkNN summary partition. Zero
+	// means one partition per block.
+	AknnCapacity int
 	// AuxCapacity is the leaf capacity of the auxiliary quadtree a
 	// staircase builds over a non-partitioning index (§3.3). Zero means the
 	// quadtree default.
@@ -50,24 +58,43 @@ type BuildOptions struct {
 }
 
 func (o BuildOptions) withDefaults() BuildOptions {
-	if o.MaxK == 0 {
-		o.MaxK = core.DefaultMaxK
-	}
+	o = o.WithResolution(o.Resolution())
 	if o.SampleSize == 0 {
 		o.SampleSize = 200
 	}
-	if o.GridSize == 0 {
-		o.GridSize = 10
-	}
+	return o
+}
+
+// Resolution returns the canonical artifact resolution the options carry:
+// the four space/accuracy axes of core.Resolution, with zero fields
+// mapped to the repository defaults.
+func (o BuildOptions) Resolution() core.Resolution {
+	return core.Resolution{
+		MaxK:         o.MaxK,
+		Corners:      o.Corners,
+		GridSize:     o.GridSize,
+		AknnCapacity: o.AknnCapacity,
+	}.Canon()
+}
+
+// WithResolution returns o with the resolution axes replaced by r.
+func (o BuildOptions) WithResolution(r core.Resolution) BuildOptions {
+	r = r.Canon()
+	// Canonical Corners (-1, 1, 4) is already the BuildOptions spelling.
+	o.MaxK, o.Corners, o.GridSize, o.AknnCapacity = r.MaxK, r.Corners, r.GridSize, r.AknnCapacity
 	return o
 }
 
 // artifactKey identifies one cached artifact of a Relation. Per-relation
 // artifacts (staircase, density, virtual grid) have a nil inner; pair
 // artifacts (catalog-merge) key on the identity of the inner relation.
+// The key carries the canonical resolution the artifact is built at, so
+// resolution views of one relation (AtResolution) share the cache without
+// ever serving an artifact built at a different depth.
 type artifactKey struct {
 	technique string
 	inner     *Relation
+	res       core.Resolution
 }
 
 // artifact caches one build outcome — value or error — exactly once.
@@ -86,7 +113,17 @@ type Relation struct {
 	tree  *index.Tree
 	count *index.Tree
 	opt   BuildOptions
+	res   core.Resolution // canonical; == opt.Resolution()
 
+	// cache is shared between a relation and its AtResolution views, so
+	// artifacts built at any resolution over the same data are built at
+	// most once process-wide.
+	cache *artifactCache
+}
+
+// artifactCache is the resolution-keyed artifact map shared by all
+// resolution views of one relation.
+type artifactCache struct {
 	mu        sync.Mutex
 	artifacts map[artifactKey]*artifact
 }
@@ -105,12 +142,40 @@ func NewRelationWithCount(name string, tree, count *index.Tree, opt BuildOptions
 	if count == nil {
 		count = tree.CountTree()
 	}
+	opt = opt.withDefaults()
 	return &Relation{
-		name:      name,
-		tree:      tree,
-		count:     count,
-		opt:       opt.withDefaults(),
-		artifacts: map[artifactKey]*artifact{},
+		name:  name,
+		tree:  tree,
+		count: count,
+		opt:   opt,
+		res:   opt.Resolution(),
+		cache: &artifactCache{artifacts: map[artifactKey]*artifact{}},
+	}
+}
+
+// Resolution returns the canonical resolution the relation builds its
+// artifacts at.
+func (r *Relation) Resolution() core.Resolution { return r.res }
+
+// AtResolution returns a view of the relation that builds and serves
+// artifacts at the given resolution. The view shares the relation's data
+// index, Count-Index and artifact cache — artifacts are keyed by
+// resolution, so views never collide and never rebuild what another view
+// already built. The receiver is returned unchanged when the resolution
+// is already its own.
+func (r *Relation) AtResolution(res core.Resolution) *Relation {
+	res = res.Canon()
+	if res == r.res {
+		return r
+	}
+	opt := r.opt.WithResolution(res)
+	return &Relation{
+		name:  r.name,
+		tree:  r.tree,
+		count: r.count,
+		opt:   opt,
+		res:   res,
+		cache: r.cache,
 	}
 }
 
@@ -130,12 +195,13 @@ func (r *Relation) Options() BuildOptions { return r.opt }
 // Only the map access is under the lock; builds run outside it, so a slow
 // staircase build never blocks an unrelated artifact.
 func (r *Relation) slot(key artifactKey) *artifact {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	a := r.artifacts[key]
+	c := r.cache
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	a := c.artifacts[key]
 	if a == nil {
 		a = &artifact{}
-		r.artifacts[key] = a
+		c.artifacts[key] = a
 	}
 	return a
 }
@@ -152,17 +218,35 @@ func (r *Relation) buildOnce(key artifactKey, build func() (any, error)) (any, e
 // engine serves it instead of rebuilding. The value must be the artifact
 // type the technique builds (e.g. *core.Staircase for "staircase-cc",
 // *core.VirtualGrid for "virtual-grid", *core.DensityBased for
-// "density"). Seeding after the artifact was already built or seeded is a
-// no-op; the first value wins, matching the immutability of published
-// store snapshots.
+// "density"). The artifact is keyed under its own reported resolution
+// (core.Artifact), so a seed only ever satisfies requests for the depth
+// it was actually built at. Seeding after the artifact was already built
+// or seeded is a no-op; the first value wins, matching the immutability
+// of published store snapshots.
 func (r *Relation) Seed(technique string, v any) {
-	r.seed(artifactKey{technique: technique}, v)
+	r.seed(r.seedKey(technique, nil, v), v)
 }
 
 // SeedPair is Seed for a pair artifact, e.g. a *core.CatalogMerge built
 // for (r ⋉ inner).
 func (r *Relation) SeedPair(technique string, inner *Relation, v any) {
-	r.seed(artifactKey{technique: technique, inner: inner}, v)
+	r.seed(r.seedKey(technique, inner, v), v)
+}
+
+// seedKey mirrors the key each accessor uses: the density artifact is
+// resolution-free, every other artifact keys on the (projected)
+// resolution it reports.
+func (r *Relation) seedKey(technique string, inner *Relation, v any) artifactKey {
+	key := artifactKey{technique: technique, inner: inner}
+	if technique == TechDensity {
+		return key
+	}
+	if a, ok := v.(core.Artifact); ok {
+		key.res = a.Resolution()
+	} else {
+		key.res = r.res
+	}
+	return key
 }
 
 func (r *Relation) seed(key artifactKey, v any) {
@@ -179,23 +263,40 @@ func (r *Relation) Density() *core.DensityBased {
 	return v.(*core.DensityBased)
 }
 
-// Staircase returns the staircase estimator for the given mode, building
-// its catalogs on first use. The density artifact doubles as the fallback
-// for k > MaxK, exactly as the store and facade always configured it.
-func (r *Relation) Staircase(mode core.StaircaseMode) (*core.Staircase, error) {
-	var technique string
+// StaircaseTechnique returns the technique (and artifact-cache key) name a
+// staircase of the given mode files under: the registered names for the
+// canonical modes, a distinct unregistered name for the rest. The store
+// uses it to seed cache-loaded staircases under the key the accessors use.
+func StaircaseTechnique(mode core.StaircaseMode) string {
 	switch mode {
 	case core.ModeCenterCorners:
-		technique = TechStaircaseCC
+		return TechStaircaseCC
 	case core.ModeCenterOnly:
-		technique = TechStaircaseC
+		return TechStaircaseC
 	default:
 		// Modes without a registered technique (Center+Quadrant) still
 		// cache under a distinct key so they never collide with the
 		// canonical artifacts.
-		technique = "staircase/" + mode.String()
+		return "staircase/" + mode.String()
 	}
-	v, err := r.buildOnce(artifactKey{technique: technique}, func() (any, error) {
+}
+
+// Staircase returns the staircase estimator for the given mode, building
+// its catalogs on first use. The density artifact doubles as the fallback
+// for k > MaxK, exactly as the store and facade always configured it.
+func (r *Relation) Staircase(mode core.StaircaseMode) (*core.Staircase, error) {
+	corners := 1
+	switch mode {
+	case core.ModeCenterOnly:
+		corners = -1
+	case core.ModeCenterQuadrant:
+		corners = 4
+	}
+	key := artifactKey{
+		technique: StaircaseTechnique(mode),
+		res:       core.Resolution{MaxK: r.opt.MaxK, Corners: corners}.Canon(),
+	}
+	v, err := r.buildOnce(key, func() (any, error) {
 		return core.BuildStaircase(r.tree, core.StaircaseOptions{
 			MaxK:        r.opt.MaxK,
 			Mode:        mode,
@@ -215,7 +316,11 @@ func (r *Relation) Staircase(mode core.StaircaseMode) (*core.Staircase, error) {
 // artifact of the "virtual-grid" join technique; Bind it to an outer
 // Count-Index to obtain a JoinEstimator.
 func (r *Relation) VirtualGrid() (*core.VirtualGrid, error) {
-	v, err := r.buildOnce(artifactKey{technique: TechVirtualGrid}, func() (any, error) {
+	key := artifactKey{
+		technique: TechVirtualGrid,
+		res:       core.Resolution{MaxK: r.opt.MaxK, GridSize: r.opt.GridSize}.Canon(),
+	}
+	v, err := r.buildOnce(key, func() (any, error) {
 		return core.BuildVirtualGrid(r.count, r.opt.GridSize, r.opt.GridSize, r.opt.MaxK)
 	})
 	if err != nil {
@@ -229,8 +334,12 @@ func (r *Relation) VirtualGrid() (*core.VirtualGrid, error) {
 // building it from the Count-Index on first use. Construction cannot
 // fail. Bind it to an outer Count-Index to obtain a JoinEstimator.
 func (r *Relation) AknnSummary() *aknn.Summary {
-	v, _ := r.buildOnce(artifactKey{technique: TechAknnBounds}, func() (any, error) {
-		return aknn.BuildSummary(r.count), nil
+	key := artifactKey{
+		technique: TechAknnBounds,
+		res:       core.Resolution{AknnCapacity: r.opt.AknnCapacity}.Canon(),
+	}
+	v, _ := r.buildOnce(key, func() (any, error) {
+		return aknn.BuildSummaryCapacity(r.count, r.opt.AknnCapacity), nil
 	})
 	return v.(*aknn.Summary)
 }
@@ -239,7 +348,12 @@ func (r *Relation) AknnSummary() *aknn.Summary {
 // building and caching it per inner relation on first use (§4.2). The
 // outer relation's options govern the build, matching the store.
 func (r *Relation) CatalogMerge(inner *Relation) (*core.CatalogMerge, error) {
-	v, err := r.buildOnce(artifactKey{technique: TechCatalogMerge, inner: inner}, func() (any, error) {
+	key := artifactKey{
+		technique: TechCatalogMerge,
+		inner:     inner,
+		res:       core.Resolution{MaxK: r.opt.MaxK}.Canon(),
+	}
+	v, err := r.buildOnce(key, func() (any, error) {
 		return core.BuildCatalogMerge(r.count, inner.count, r.opt.SampleSize, r.opt.MaxK)
 	})
 	if err != nil {

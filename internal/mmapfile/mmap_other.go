@@ -1,0 +1,24 @@
+//go:build !unix
+
+package mmapfile
+
+import "os"
+
+// Open falls back to a plain heap read on platforms without unix mmap.
+// The File behaves identically except that Mapped reports false and the
+// bytes are heap-resident.
+func Open(path string) (*File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return &File{data: data}, nil
+}
+
+// Close releases the heap copy. Double-Close is a no-op.
+func (f *File) Close() error {
+	if f.closed.CompareAndSwap(false, true) {
+		f.data = nil
+	}
+	return nil
+}

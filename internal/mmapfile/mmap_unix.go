@@ -1,0 +1,65 @@
+//go:build unix
+
+package mmapfile
+
+import (
+	"os"
+	"runtime"
+	"syscall"
+)
+
+// Open memory-maps path read-only. Empty files yield an empty, unmapped
+// File (mmap of length 0 is an error on most systems and there is nothing
+// to share anyway).
+func Open(path string) (*File, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := st.Size()
+	if size == 0 {
+		return &File{}, nil
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err == syscall.ENOMEM {
+		// The process ran out of VMA slots (vm.max_map_count): degrade this
+		// file to a heap copy rather than failing the load. Fleets past
+		// ~30k relations should raise the sysctl to keep the zero-copy
+		// path; see DESIGN.md.
+		buf := make([]byte, size)
+		if _, err := f.ReadAt(buf, 0); err != nil {
+			return nil, err
+		}
+		return &File{data: buf}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	m := &File{data: data, mapped: true}
+	// Unmap when the File becomes unreachable: borrowed artifact slices
+	// must therefore keep the File reachable (the store pins it on the
+	// snapshot), but a File dropped without Close never leaks the mapping.
+	runtime.SetFinalizer(m, func(m *File) { m.unmap() })
+	return m, nil
+}
+
+// Close unmaps eagerly. It must not be called while borrowed sub-slices of
+// Data are still in use. Double-Close is a no-op.
+func (f *File) Close() error {
+	runtime.SetFinalizer(f, nil)
+	return f.unmap()
+}
+
+func (f *File) unmap() error {
+	if !f.mapped || !f.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	data := f.data
+	f.data = nil
+	return syscall.Munmap(data)
+}

@@ -1,0 +1,35 @@
+// Package mmapfile memory-maps files read-only, so the store's disk-cache
+// loaders can serve artifact bytes straight from the page cache — shared,
+// evictable, and never copied onto the Go heap. On platforms without mmap
+// support it degrades transparently to a plain heap read, so callers need
+// no build tags of their own.
+//
+// Lifetime: the mapping stays valid as long as the *File is reachable.
+// Close unmaps eagerly; a File that is simply dropped is unmapped by a
+// finalizer when the garbage collector proves it unreachable. Callers that
+// hand out sub-slices of Data (borrowed catalogs) must keep the File
+// reachable alongside them — slices into a mapping do not, by themselves,
+// keep it alive. The store does this by pinning the File on the snapshot
+// that serves the borrowed artifacts and never calling Close on a mapping
+// that escaped into a snapshot.
+package mmapfile
+
+import "sync/atomic"
+
+// File is a read-only memory-mapped file (or its heap-read fallback).
+type File struct {
+	data   []byte
+	mapped bool // true when data is an OS mapping, not heap
+	closed atomic.Bool
+}
+
+// Data returns the file contents. For a mapped File the slice aliases the
+// OS mapping: it is read-only (writes fault) and valid until Close.
+func (f *File) Data() []byte { return f.data }
+
+// Mapped reports whether the contents are served by an OS mapping rather
+// than a heap copy — i.e. whether the zero-copy path is active.
+func (f *File) Mapped() bool { return f.mapped }
+
+// Len returns the file length.
+func (f *File) Len() int { return len(f.data) }

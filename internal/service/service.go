@@ -277,6 +277,15 @@ type RelationInfo struct {
 	NumBlocks        int    `json:"num_blocks"`
 	StaircaseBytes   int    `json:"staircase_bytes"`
 	VirtualGridBytes int    `json:"virtual_grid_bytes"`
+	AknnBytes        int    `json:"aknn_bytes,omitempty"`
+	// ArtifactBytes is the total artifact footprint the store's space-budget
+	// tuner accounts against -catalog-budget-bytes.
+	ArtifactBytes int `json:"artifact_bytes,omitempty"`
+	// Resolution is the published snapshot's effective artifact resolution;
+	// DeclaredResolution is what registration asked for. They differ only
+	// while the space-budget tuner holds the relation at a coarser rung.
+	Resolution         *ResolutionSpec `json:"resolution,omitempty"`
+	DeclaredResolution *ResolutionSpec `json:"declared_resolution,omitempty"`
 	// DeltaOps/DeltaPoints/DeltaAgeMs describe the WAL-durable mutations the
 	// published snapshot does not cover yet; DeltaAgeMs is the staleness
 	// bound — the age of the oldest uncompacted write.
@@ -285,19 +294,55 @@ type RelationInfo struct {
 	DeltaAgeMs  int64 `json:"delta_age_ms,omitempty"`
 }
 
+// ResolutionSpec is the wire form of core.Resolution: the per-relation
+// space/accuracy axes of POST /relations and the /relations listings.
+// Zero axes inherit the server-wide options; corners -1 means center-only
+// staircase catalogs (0 is "default", matching core.Resolution.Canon).
+type ResolutionSpec struct {
+	MaxK         int `json:"max_k,omitempty"`
+	Corners      int `json:"corners,omitempty"`
+	GridSize     int `json:"grid_size,omitempty"`
+	AknnCapacity int `json:"aknn_capacity,omitempty"`
+}
+
+func (r *ResolutionSpec) toCore() core.Resolution {
+	if r == nil {
+		return core.Resolution{}
+	}
+	return core.Resolution{MaxK: r.MaxK, Corners: r.Corners, GridSize: r.GridSize, AknnCapacity: r.AknnCapacity}
+}
+
+// specOf converts a canonical store resolution to its wire form; the zero
+// value (relation not yet published) maps to nil so listings omit it.
+func specOf(res core.Resolution) *ResolutionSpec {
+	if res == (core.Resolution{}) {
+		return nil
+	}
+	res = res.Canon()
+	spec := &ResolutionSpec{MaxK: res.MaxK, Corners: res.Corners, GridSize: res.GridSize, AknnCapacity: res.AknnCapacity}
+	if spec.Corners == 0 {
+		spec.Corners = -1 // wire convention: explicit center-only, never "default"
+	}
+	return spec
+}
+
 func infoFromStatus(st store.RelationStatus) RelationInfo {
 	return RelationInfo{
-		Name:             st.Name,
-		State:            st.State,
-		Version:          st.Version,
-		Error:            st.Error,
-		NumPoints:        st.NumPoints,
-		NumBlocks:        st.NumBlocks,
-		StaircaseBytes:   st.StaircaseBytes,
-		VirtualGridBytes: st.VirtualGridBytes,
-		DeltaOps:         st.DeltaOps,
-		DeltaPoints:      st.DeltaPoints,
-		DeltaAgeMs:       st.DeltaAgeMs,
+		Name:               st.Name,
+		State:              st.State,
+		Version:            st.Version,
+		Error:              st.Error,
+		NumPoints:          st.NumPoints,
+		NumBlocks:          st.NumBlocks,
+		StaircaseBytes:     st.StaircaseBytes,
+		VirtualGridBytes:   st.VirtualGridBytes,
+		AknnBytes:          st.AknnBytes,
+		ArtifactBytes:      st.ArtifactBytes,
+		Resolution:         specOf(st.Resolution),
+		DeclaredResolution: specOf(st.DeclaredResolution),
+		DeltaOps:           st.DeltaOps,
+		DeltaPoints:        st.DeltaPoints,
+		DeltaAgeMs:         st.DeltaAgeMs,
 	}
 }
 
@@ -351,6 +396,13 @@ func (s *Server) handleRelationPoints(w http.ResponseWriter, r *http.Request) {
 	resp := RegisterRequest{Name: name, Points: make([][2]float64, len(pts))}
 	for i, p := range pts {
 		resp.Points[i] = [2]float64{p.X, p.Y}
+	}
+	// Carry the declared (not the tuner's effective) resolution: POSTing
+	// the response elsewhere must reproduce the accuracy contract the
+	// relation was registered with, so mirror healing and rebalance
+	// hand-offs keep per-relation resolutions intact.
+	if st, ok := s.store.Status(name); ok {
+		resp.Resolution = specOf(st.DeclaredResolution)
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -409,6 +461,10 @@ type RegisterRequest struct {
 	// the server's data directory. Rejected when no data directory is
 	// configured.
 	File string `json:"file,omitempty"`
+	// Resolution is the relation's declared artifact resolution. Omitted
+	// or zero axes inherit the server-wide options, so old clients see no
+	// behaviour change.
+	Resolution *ResolutionSpec `json:"resolution,omitempty"`
 }
 
 // maxRegisterBody bounds the registration body (16 MiB ≈ half a million
@@ -449,7 +505,7 @@ func (s *Server) handleRegisterRelation(w http.ResponseWriter, r *http.Request) 
 		badRequest(w, "registration needs points or a file")
 		return
 	}
-	st, err := s.store.Register(req.Name, pts)
+	st, err := s.store.RegisterResolution(req.Name, pts, req.Resolution.toCore())
 	if err != nil {
 		switch {
 		case errors.Is(err, store.ErrQueueFull), errors.Is(err, store.ErrClosed):
@@ -578,6 +634,7 @@ func (s *Server) handleEstimateSelect(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	rel.Touch()
 	start := time.Now()
 	blocks, err := est.EstimateSelect(geom.Point{X: x, Y: y}, k)
 	if err != nil {
@@ -736,6 +793,7 @@ func (s *Server) handleEstimateSelectBatch(w http.ResponseWriter, r *http.Reques
 	if maxP := runtime.GOMAXPROCS(0); parallelism > maxP {
 		parallelism = maxP
 	}
+	rel.TouchN(len(queries))
 	start := time.Now()
 	results, err := core.EstimateSelectBatchContext(r.Context(), est, queries, parallelism)
 	if err != nil {
@@ -800,6 +858,9 @@ func (s *Server) handleEstimateJoin(w http.ResponseWriter, r *http.Request) {
 			errorResponse{Error: fmt.Sprintf("%s %s⋉%s unavailable: %v", jt.Name, outer.Name, inner.Name, err)})
 		return
 	}
+	// Both sides serve artifacts for a join estimate; both count as traffic.
+	outer.Touch()
+	inner.Touch()
 	start := time.Now()
 	blocks, err := est.EstimateJoin(k)
 	if err != nil {

@@ -18,6 +18,7 @@ import (
 	"knncost/internal/engine"
 	"knncost/internal/geom"
 	"knncost/internal/index"
+	"knncost/internal/mmapfile"
 )
 
 // The disk cache gives the store warm restarts: catalogs are persisted in
@@ -26,19 +27,22 @@ import (
 // milliseconds what a cold one computes in seconds. Layout under the cache
 // directory:
 //
-//	registry.json                        name → fingerprint of live relations
+//	registry.json                        name → fingerprint + resolution of live relations
 //	cat/<fp>/manifest.json               versioned build-parameter manifest
 //	cat/<fp>/points.bin                  the relation's points (rebuilds the index)
-//	cat/<fp>/staircase-cc.bin            core.Staircase (KNCS format)
-//	cat/<fp>/virtual-grid.bin            core.VirtualGrid (KNVG format)
+//	cat/<fp>/staircase-{cc,c,cq}.bin     core.Staircase (KNCSMAP mapped format;
+//	                                     one file, named by the resolution's mode)
+//	cat/<fp>/virtual-grid.bin            core.VirtualGrid (KNVGMAP mapped format)
 //	cat/<fp>/aknn-bounds.bin             aknn.Summary (KNAB format)
-//	merge/<fpOuter>-<fpInner>-catalog-merge.bin  core.CatalogMerge (KNCM format)
+//	merge/<fpOuter>-<fpInner>-catalog-merge.bin  core.CatalogMerge (KNCMMAP mapped format)
 //
 // Per-relation artifact files are named after the engine technique that
 // produced them (see internal/engine), so adding a cached technique is a
-// new file, never a layout change. Techniques the store does not precompute
-// (e.g. staircase-c) have no file and build lazily in the snapshot's engine
-// relation.
+// new file, never a layout change. The staircase and grid artifacts use the
+// aligned mapped encodings: the loaders mmap the file and borrow the
+// catalogs zero-copy, pinning the mapping on the artifact. Techniques a
+// resolution does not precompute have no file and build lazily in the
+// snapshot's engine relation.
 //
 // Everything is written atomically (temp file + rename) and every load
 // failure is treated as a cache miss, never an error: the worst corrupt
@@ -48,28 +52,41 @@ import (
 // to the layout or to what a fingerprint covers. Format 2 renamed the
 // artifact files to technique names (staircase.bin → staircase-cc.bin,
 // vgrid.bin → virtual-grid.bin) and keyed merge files by technique.
-// Format 3 added the aknn-bounds summary artifact; the version is part of
-// every fingerprint, so format-2 entries all miss and rebuild complete.
-const cacheFormat = 3
+// Format 3 added the aknn-bounds summary artifact. Format 4 switched the
+// staircase, virtual-grid and merge artifacts to the aligned mapped
+// encodings (core.WriteMapped) served zero-copy from an mmap'd file, made
+// every fingerprint per-relation-resolution, and named the staircase file
+// after the mode the resolution selects. The version is part of every
+// fingerprint, so entries of older formats all miss and rebuild complete —
+// a format bump costs one rebuild, never an error.
+const cacheFormat = 4
 
 // manifest records the parameters a cached relation was built with. A
-// manifest that does not match the store's current options is a miss (the
+// manifest that does not match the relation's resolution is a miss (the
 // fingerprint covers the same fields, so in practice mismatch means a
 // hand-edited cache).
 type manifest struct {
-	Format     int `json:"format"`
-	NumPoints  int `json:"num_points"`
-	NumBlocks  int `json:"num_blocks"`
-	MaxK       int `json:"max_k"`
-	SampleSize int `json:"sample_size"`
-	GridSize   int `json:"grid_size"`
-	Capacity   int `json:"capacity"`
+	Format       int `json:"format"`
+	NumPoints    int `json:"num_points"`
+	NumBlocks    int `json:"num_blocks"`
+	MaxK         int `json:"max_k"`
+	Corners      int `json:"corners"`
+	SampleSize   int `json:"sample_size"`
+	GridSize     int `json:"grid_size"`
+	AknnCapacity int `json:"aknn_capacity"`
+	Capacity     int `json:"capacity"`
 }
 
-// registryEntry names one live relation and its cached fingerprint.
+// registryEntry names one live relation, its cached fingerprint, and its
+// resolutions: Resolution is the effective (possibly tuner-coarsened)
+// resolution the fingerprint was built at — a restart must recompute the
+// identical fingerprint to warm-load — and Declared is what the user asked
+// for, so the tuner can grow the relation back after a restart.
 type registryEntry struct {
-	Name        string `json:"name"`
-	Fingerprint string `json:"fingerprint"`
+	Name        string          `json:"name"`
+	Fingerprint string          `json:"fingerprint"`
+	Resolution  core.Resolution `json:"resolution"`
+	Declared    core.Resolution `json:"declared"`
 }
 
 type registryFile struct {
@@ -112,13 +129,19 @@ func openDiskCache(dir, scope string) (*diskCache, error) {
 }
 
 // fingerprint hashes the point data together with every build parameter
-// that shapes the catalogs. Two relations with the same fingerprint produce
-// bit-identical catalogs; any change to points or options changes it.
-func (s *Store) fingerprint(pts []geom.Point) string {
+// that shapes the catalogs — including the relation's resolution, so the
+// same points built at two resolutions are two independent cache entries.
+// Two relations with the same fingerprint produce bit-identical catalogs;
+// any change to points, resolution or options changes it.
+func (s *Store) fingerprint(pts []geom.Point, res core.Resolution) string {
+	res = res.Canon()
 	h := sha256.New()
-	var hdr [64]byte
+	var hdr [128]byte
 	n := binary.PutVarint(hdr[:], int64(cacheFormat))
-	for _, v := range []int{s.opt.MaxK, s.opt.SampleSize, s.opt.GridSize, s.opt.IndexCapacity, len(pts)} {
+	for _, v := range []int{
+		res.MaxK, res.Corners, res.GridSize, res.AknnCapacity,
+		s.opt.SampleSize, s.opt.IndexCapacity, len(pts),
+	} {
 		n += binary.PutVarint(hdr[n:], int64(v))
 	}
 	h.Write(hdr[:n])
@@ -190,27 +213,47 @@ func (c *diskCache) loadManifest(fp string) (manifest, bool) {
 	return m, true
 }
 
+// staircaseFile returns the staircase artifact file stem for the mode the
+// resolution selects. The quadrant mode has no registered technique name;
+// its stem follows the same convention.
+func staircaseFile(res core.Resolution) string {
+	switch res.StaircaseMode() {
+	case core.ModeCenterOnly:
+		return engine.TechStaircaseC
+	case core.ModeCenterQuadrant:
+		return "staircase-cq"
+	default:
+		return engine.TechStaircaseCC
+	}
+}
+
 // loadRelation loads the staircase, virtual grid, and aknn summary for fp
-// against the given (freshly rebuilt) data index.
-func (c *diskCache) loadRelation(fp string, tree *index.Tree, opt core.StaircaseOptions) (*core.Staircase, *core.VirtualGrid, *aknn.Summary, error) {
-	sf, err := os.Open(c.artifactPath(fp, engine.TechStaircaseCC))
+// against the given (freshly rebuilt) data index. The staircase and grid
+// files are mmap'd and their catalogs borrowed in place — the mapping is
+// pinned on the artifact, so it stays valid as long as the artifact is
+// reachable and is unmapped by its finalizer afterwards. The aknn summary
+// is tiny and heap-decodes as before.
+func (c *diskCache) loadRelation(fp string, tree *index.Tree, opt core.StaircaseOptions, res core.Resolution) (*core.Staircase, *core.VirtualGrid, *aknn.Summary, error) {
+	sm, err := mmapfile.Open(c.artifactPath(fp, staircaseFile(res)))
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	defer sf.Close()
-	stair, err := core.LoadStaircase(tree, sf, opt)
+	stair, err := core.LoadStaircaseMapped(tree, sm.Data(), opt)
 	if err != nil {
+		sm.Close()
 		return nil, nil, nil, fmt.Errorf("staircase: %w", err)
 	}
-	vf, err := os.Open(c.artifactPath(fp, engine.TechVirtualGrid))
+	stair.Pin(sm)
+	vm, err := mmapfile.Open(c.artifactPath(fp, engine.TechVirtualGrid))
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	defer vf.Close()
-	vg, err := core.LoadVirtualGrid(vf)
+	vg, err := core.LoadVirtualGridMapped(vm.Data())
 	if err != nil {
+		vm.Close()
 		return nil, nil, nil, fmt.Errorf("virtual grid: %w", err)
 	}
+	vg.Pin(vm)
 	af, err := os.Open(c.artifactPath(fp, engine.TechAknnBounds))
 	if err != nil {
 		return nil, nil, nil, err
@@ -225,7 +268,7 @@ func (c *diskCache) loadRelation(fp string, tree *index.Tree, opt core.Staircase
 
 // storeRelation persists every artifact of one relation build. The manifest
 // is written last: its presence marks the entry complete.
-func (c *diskCache) storeRelation(fp string, m manifest, pts []geom.Point, stair *core.Staircase, vg *core.VirtualGrid, sum *aknn.Summary) error {
+func (c *diskCache) storeRelation(fp string, m manifest, pts []geom.Point, stair *core.Staircase, vg *core.VirtualGrid, sum *aknn.Summary, res core.Resolution) error {
 	dir := c.catDir(fp)
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
@@ -235,14 +278,14 @@ func (c *diskCache) storeRelation(fp string, m manifest, pts []geom.Point, stair
 	}); err != nil {
 		return fmt.Errorf("points: %w", err)
 	}
-	if err := writeAtomic(c.artifactPath(fp, engine.TechStaircaseCC), func(f *os.File) error {
-		_, err := stair.WriteTo(f)
+	if err := writeAtomic(c.artifactPath(fp, staircaseFile(res)), func(f *os.File) error {
+		_, err := stair.WriteMapped(f)
 		return err
 	}); err != nil {
 		return fmt.Errorf("staircase: %w", err)
 	}
 	if err := writeAtomic(c.artifactPath(fp, engine.TechVirtualGrid), func(f *os.File) error {
-		_, err := vg.WriteTo(f)
+		_, err := vg.WriteMapped(f)
 		return err
 	}); err != nil {
 		return fmt.Errorf("virtual grid: %w", err)
@@ -262,17 +305,22 @@ func (c *diskCache) storeRelation(fp string, m manifest, pts []geom.Point, stair
 }
 
 func (c *diskCache) loadMerge(fpOuter, fpInner string) (*core.CatalogMerge, error) {
-	f, err := os.Open(c.mergePath(fpOuter, fpInner))
+	mf, err := mmapfile.Open(c.mergePath(fpOuter, fpInner))
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
-	return core.LoadCatalogMerge(f)
+	m, err := core.LoadCatalogMergeMapped(mf.Data())
+	if err != nil {
+		mf.Close()
+		return nil, err
+	}
+	m.Pin(mf)
+	return m, nil
 }
 
 func (c *diskCache) storeMerge(fpOuter, fpInner string, m *core.CatalogMerge) error {
 	return writeAtomic(c.mergePath(fpOuter, fpInner), func(f *os.File) error {
-		_, err := m.WriteTo(f)
+		_, err := m.WriteMapped(f)
 		return err
 	})
 }
@@ -353,9 +401,9 @@ func (c *diskCache) readRegistryLocked() []registryEntry {
 	return r.Relations
 }
 
-// remember records name → fp in the registry (replacing any previous
-// fingerprint for name).
-func (c *diskCache) remember(name, fp string) error {
+// remember records name → (fp, effective resolution, declared resolution)
+// in the registry, replacing any previous entry for name.
+func (c *diskCache) remember(name, fp string, res, declared core.Resolution) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	entries := c.readRegistryLocked()
@@ -365,7 +413,7 @@ func (c *diskCache) remember(name, fp string) error {
 			out = append(out, e)
 		}
 	}
-	out = append(out, registryEntry{Name: name, Fingerprint: fp})
+	out = append(out, registryEntry{Name: name, Fingerprint: fp, Resolution: res.Canon(), Declared: declared.Canon()})
 	return c.writeRegistryLocked(out)
 }
 

@@ -26,6 +26,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync/atomic"
 	"time"
 
 	"knncost/internal/geom"
@@ -378,13 +379,35 @@ func (s *Store) recoverLocked(records []wal.Record) {
 			s.opt.logger().Printf("store: cache registry %q: %v (skipping)", reg.Name, err)
 			continue
 		}
-		e := &entry{name: reg.Name}
+		e := &entry{name: reg.Name, hits: &atomic.Int64{}}
 		if err := s.enqueueLocked(e, pts, nil); err != nil {
 			s.opt.logger().Printf("store: re-registering cached %q: %v", reg.Name, err)
 			continue
 		}
 		e.fromPoints = true
 		e.restoredFP = reg.Fingerprint
+		// Restore the resolution pair so the rebuild recomputes the exact
+		// registered fingerprint (a warm load) and the tuner resumes from
+		// the persisted rung. The step count is re-derived by walking the
+		// ladder; an unreachable effective resolution (hand-edited
+		// registry) falls back to the declared one — one cold rebuild,
+		// never an error. Q-error floors are not persisted: the probe
+		// re-establishes them within a pass if the rung is too coarse.
+		e.declaredRes = s.opt.resolveResolution(reg.Declared)
+		e.res = e.declaredRes
+		e.tunerFloor = math.MaxInt
+		want := s.opt.resolveResolution(reg.Resolution)
+		for r, steps := e.declaredRes, 0; ; steps++ {
+			if r == want {
+				e.res, e.tunerSteps = want, steps
+				break
+			}
+			next := r.Coarser()
+			if next == r {
+				break // ladder exhausted without reaching want
+			}
+			r = next
+		}
 		s.entries[reg.Name] = e
 	}
 	now := time.Now()

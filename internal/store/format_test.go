@@ -1,0 +1,80 @@
+package store
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"knncost/internal/engine"
+	"knncost/internal/geom"
+)
+
+// TestFormatThreeCacheMissesCleanly: a cache directory written by the
+// previous on-disk format (3: varint artifacts, no resolution column) must
+// behave as a clean miss under format 4 — the store cold-starts without
+// error, re-registration rebuilds (knncost_catalog_builds increments), and
+// the fresh entries supersede the stale ones in place.
+func TestFormatThreeCacheMissesCleanly(t *testing.T) {
+	dir := t.TempDir()
+	staleFP := strings.Repeat("ab", 32)
+
+	// Hand-write what a format-3 cache left behind: a registry without the
+	// resolution columns, a varint-era artifact dir, and a format-3
+	// manifest. None of it is readable under format 4.
+	if err := os.MkdirAll(filepath.Join(dir, "cat", staleFP), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	reg, err := json.Marshal(map[string]any{
+		"format": 3,
+		"relations": []map[string]any{
+			{"name": "legacy", "fingerprint": staleFP},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "registry.json"), reg, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	man, err := json.Marshal(map[string]any{"format": 3, "num_points": 900, "max_k": 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, data := range map[string][]byte{
+		"manifest.json":                 man,
+		"points.bin":                    []byte("KNPT\x01garbage"),
+		engine.TechStaircaseCC + ".bin": []byte("old varint staircase bytes"),
+		engine.TechVirtualGrid + ".bin": []byte("old varint grid bytes"),
+		engine.TechAknnBounds + ".bin":  []byte("KNAB\x01junk"),
+	} {
+		if err := os.WriteFile(filepath.Join(dir, "cat", staleFP, name), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	opt := testOptions(t)
+	opt.CacheDir = dir
+	s := newTestStore(t, opt)
+	waitReady(t, s) // a format-3 registry restores nothing
+	if n := s.View().NumRelations(); n != 0 {
+		t.Fatalf("format-3 registry restored %d relations, want 0", n)
+	}
+
+	if _, err := s.Register("legacy", gridPoints(900, 7)); err != nil {
+		t.Fatalf("Register over a format-3 cache: %v", err)
+	}
+	waitReady(t, s, "legacy")
+	if s.CatalogBuilds() == 0 {
+		t.Fatal("re-registration over a format-3 cache served stale artifacts instead of rebuilding")
+	}
+	snap := s.View().Relation("legacy")
+	if _, err := snap.Staircase.EstimateSelect(geom.Point{X: 40, Y: 40}, 9); err != nil {
+		t.Fatalf("estimate after format migration: %v", err)
+	}
+	if snap.Resolution.MaxK != opt.MaxK || snap.Resolution.GridSize != opt.GridSize {
+		t.Fatalf("rebuilt resolution %+v does not carry the store defaults (maxk %d, grid %d)",
+			snap.Resolution, opt.MaxK, opt.GridSize)
+	}
+}

@@ -1,0 +1,178 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/debug"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"knncost/internal/aknn"
+	"knncost/internal/core"
+	"knncost/internal/geom"
+	"knncost/internal/index"
+	"knncost/internal/quadtree"
+)
+
+// TestMmapCatalogScale measures the zero-copy read path at fleet scale: N
+// small relations are built once and persisted, then the cache is re-opened
+// and every relation warm-loaded through the mmap loaders, exactly the way a
+// restarted daemon re-hydrates its schema. The test asserts bit-identical
+// estimates across the round trip with zero artifact builds, and logs the
+// numbers DESIGN.md records: warm-load wall time, RSS and heap growth next
+// to the summed artifact bytes (the growth stays far below the artifact
+// bytes because catalogs are borrowed from the page cache, not copied).
+//
+// KNNCOST_MMAP_RELATIONS overrides the relation count; scripts/soak.sh mmap
+// drives it at 100k.
+func TestMmapCatalogScale(t *testing.T) {
+	n := 500
+	if testing.Short() {
+		n = 100
+	}
+	if s := os.Getenv("KNNCOST_MMAP_RELATIONS"); s != "" {
+		v, err := strconv.Atoi(s)
+		if err != nil || v < 1 {
+			t.Fatalf("KNNCOST_MMAP_RELATIONS=%q: want a positive integer", s)
+		}
+		n = v
+	}
+	dir := t.TempDir()
+	cache, err := openDiskCache(dir, "")
+	if err != nil {
+		t.Fatalf("openDiskCache: %v", err)
+	}
+	res := core.Resolution{MaxK: 64, GridSize: 4}.Canon()
+	opt := core.StaircaseOptions{MaxK: res.MaxK, Mode: res.StaircaseMode()}
+
+	relPoints := func(i int) []geom.Point {
+		return gridPoints(16+i%17, int64(i))
+	}
+
+	type loaded struct {
+		stair *core.Staircase
+		vg    *core.VirtualGrid
+		sum   *aknn.Summary
+	}
+	fps := make([]string, n)
+	want := make([][3]float64, n)
+	built := make([]loaded, n)
+	var artifactBytes int64
+
+	buildStart := time.Now()
+	for i := 0; i < n; i++ {
+		pts := relPoints(i)
+		tree := quadtree.Build(pts, quadtree.Options{Capacity: 16}).Index()
+		count := tree.CountTree()
+		stair, err := core.BuildStaircase(tree, opt)
+		if err != nil {
+			t.Fatalf("BuildStaircase %d: %v", i, err)
+		}
+		vg, err := core.BuildVirtualGrid(count, res.GridSize, res.GridSize, res.MaxK)
+		if err != nil {
+			t.Fatalf("BuildVirtualGrid %d: %v", i, err)
+		}
+		sum := aknn.BuildSummaryCapacity(count, res.AknnCapacity)
+		fp := fmt.Sprintf("%064x", i)
+		if err := cache.storeRelation(fp, manifest{}, pts, stair, vg, sum, res); err != nil {
+			t.Fatalf("storeRelation %d: %v", i, err)
+		}
+		fps[i] = fp
+		built[i] = loaded{stair, vg, sum}
+		want[i] = probeAll(t, pts, stair, vg, sum, count)
+		artifactBytes += int64(stair.SizeBytes() + vg.SizeBytes() + sum.SizeBytes())
+	}
+	buildTook := time.Since(buildStart)
+	runtime.GC()
+	debug.FreeOSMemory()
+	rssBuilt := vmRSS() // heap-built artifacts resident
+
+	// Drop every built artifact before measuring the warm path, so RSS and
+	// heap growth attribute to the loads alone.
+	for i := range built {
+		built[i] = loaded{}
+	}
+	runtime.GC()
+	debug.FreeOSMemory()
+	rss0, heap0 := vmRSS(), heapAlloc()
+
+	cache2, err := openDiskCache(dir, "")
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	keep := make([]loaded, n) // a daemon keeps every relation resident
+	warmStart := time.Now()
+	for i := 0; i < n; i++ {
+		pts := relPoints(i)
+		tree := quadtree.Build(pts, quadtree.Options{Capacity: 16}).Index()
+		count := tree.CountTree()
+		stair, vg, sum, err := cache2.loadRelation(fps[i], tree, opt, res)
+		if err != nil {
+			t.Fatalf("loadRelation %d: %v", i, err)
+		}
+		keep[i] = loaded{stair, vg, sum}
+		if got := probeAll(t, pts, stair, vg, sum, count); got != want[i] {
+			t.Fatalf("relation %d not bit-identical after warm load: got %+v, want %+v", i, got, want[i])
+		}
+	}
+	warmTook := time.Since(warmStart)
+	runtime.GC()
+	debug.FreeOSMemory()
+	rss1, heap1 := vmRSS(), heapAlloc()
+	runtime.KeepAlive(keep)
+
+	t.Logf("relations=%d artifact_bytes=%.1fMB build=%v warm_load=%v (%.1fµs/relation)",
+		n, float64(artifactBytes)/(1<<20), buildTook.Round(time.Millisecond),
+		warmTook.Round(time.Millisecond), float64(warmTook.Microseconds())/float64(n))
+	t.Logf("rss: built=%.1fMB warm=%.1fMB (growth rss=%+.1fMB heap=%+.1fMB; artifacts stay file-backed)",
+		float64(rssBuilt)/(1<<20), float64(rss1)/(1<<20),
+		float64(rss1-rss0)/(1<<20), float64(heap1-heap0)/(1<<20))
+}
+
+// probeAll pins all three mmap-backed artifacts of one relation with a
+// deterministic estimate each; bit-identity of the triple across a reload
+// means the borrowed catalogs decode to the exact built values.
+func probeAll(t *testing.T, pts []geom.Point, stair *core.Staircase, vg *core.VirtualGrid, sum *aknn.Summary, count *index.Tree) [3]float64 {
+	t.Helper()
+	sel, err := stair.EstimateSelect(pts[0], 7)
+	if err != nil {
+		t.Fatalf("EstimateSelect: %v", err)
+	}
+	vj, err := vg.Bind(count).EstimateJoin(5)
+	if err != nil {
+		t.Fatalf("virtual-grid EstimateJoin: %v", err)
+	}
+	aj, err := sum.Bind(count, 8).EstimateJoin(5)
+	if err != nil {
+		t.Fatalf("aknn EstimateJoin: %v", err)
+	}
+	return [3]float64{sel, vj, aj}
+}
+
+// vmRSS reads the resident set size from /proc/self/status, in bytes.
+// Returns 0 where procfs is unavailable; the log line is then a no-op.
+func vmRSS() int64 {
+	data, err := os.ReadFile("/proc/self/status")
+	if err != nil {
+		return 0
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if after, ok := strings.CutPrefix(line, "VmRSS:"); ok {
+			kb, err := strconv.ParseInt(strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(after), "kB")), 10, 64)
+			if err != nil {
+				return 0
+			}
+			return kb << 10
+		}
+	}
+	return 0
+}
+
+func heapAlloc() int64 {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return int64(ms.HeapAlloc)
+}

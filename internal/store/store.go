@@ -134,6 +134,23 @@ type Options struct {
 	// trades a bounded loss window for throughput by fsyncing on a timer
 	// instead.
 	WALSyncInterval time.Duration
+	// CatalogBudgetBytes is the space-budget auto-tuner's global target for
+	// the summed artifact bytes of every published relation. While the
+	// total exceeds it, the tuner rebuilds the coldest relations (by
+	// estimate traffic) one resolution step coarser; with headroom it grows
+	// tuned relations back toward their declared resolution. Zero (the
+	// default) disables the tuner entirely.
+	CatalogBudgetBytes int64
+	// TunerInterval is the cadence of the background tuner pass. Zero
+	// means 5s; negative disables the background loop (passes then happen
+	// only via TunerTick — useful in deterministic tests).
+	TunerInterval time.Duration
+	// TunerQErrorTolerance bounds the estimate degradation a tuner shrink
+	// may cause: after a coarsened rebuild publishes, the tuner probes its
+	// q-error against ground-truth distance browsing and reverts the step
+	// (and refuses to repeat it) when the worst probe exceeds this factor.
+	// Zero means 2.0.
+	TunerQErrorTolerance float64
 	// Logger receives cache warnings and build logs. Nil means the standard
 	// logger.
 	Logger *log.Logger
@@ -168,7 +185,27 @@ func (o Options) withDefaults() Options {
 	if o.CompactInterval == 0 {
 		o.CompactInterval = 2 * time.Second
 	}
+	if o.TunerInterval == 0 {
+		o.TunerInterval = 5 * time.Second
+	}
+	if o.TunerQErrorTolerance == 0 {
+		o.TunerQErrorTolerance = 2.0
+	}
 	return o
+}
+
+// resolveResolution maps a requested per-relation resolution to its
+// canonical effective form: axes left zero inherit the store-wide options
+// (so Register without a resolution behaves exactly as before), everything
+// else canonicalizes per core.Resolution.
+func (o Options) resolveResolution(r core.Resolution) core.Resolution {
+	if r.MaxK == 0 {
+		r.MaxK = o.MaxK
+	}
+	if r.GridSize == 0 {
+		r.GridSize = o.GridSize
+	}
+	return r.Canon()
 }
 
 func (o Options) logger() *log.Logger {
@@ -215,10 +252,42 @@ type Snapshot struct {
 	// exact same estimator objects. Techniques the store does not precompute
 	// (e.g. staircase-c) build lazily inside Engine, once per snapshot.
 	Engine *engine.Relation
+	// Resolution is the canonical artifact resolution this snapshot was
+	// built at — the declared resolution, or a coarser rung when the
+	// space-budget tuner shrank the relation.
+	Resolution core.Resolution
 	// StaircaseBytes and VGridBytes are the serialized catalog sizes,
-	// computed once at publication.
+	// computed once at publication. AknnBytes is the aknn summary's;
+	// ArtifactBytes is the total the tuner accounts against the budget
+	// (staircase + virtual grid + aknn summary).
 	StaircaseBytes int
 	VGridBytes     int
+	AknnBytes      int
+	ArtifactBytes  int
+
+	// hits is the estimate-traffic counter shared with the relation's
+	// store entry across republishes; Touch increments it.
+	hits *atomic.Int64
+}
+
+// Touch records one estimate served from this snapshot. The count is the
+// tuner's per-relation traffic signal: hot relations keep (or regain)
+// their declared resolution, cold ones are shrunk first when the store is
+// over its catalog byte budget. Safe for concurrent use; a no-op on
+// snapshots that predate the store (zero value) or tests that build
+// snapshots by hand.
+func (sn *Snapshot) Touch() {
+	if sn.hits != nil {
+		sn.hits.Add(1)
+	}
+}
+
+// TouchN records n estimates served from this snapshot in one call (the
+// batch endpoint's accounting).
+func (sn *Snapshot) TouchN(n int) {
+	if sn.hits != nil && n > 0 {
+		sn.hits.Add(int64(n))
+	}
 }
 
 // RelationStatus is the externally visible state of one relation, as served
@@ -235,6 +304,13 @@ type RelationStatus struct {
 	NumBlocks        int `json:"num_blocks"`
 	StaircaseBytes   int `json:"staircase_bytes"`
 	VirtualGridBytes int `json:"virtual_grid_bytes"`
+	AknnBytes        int `json:"aknn_bytes"`
+	ArtifactBytes    int `json:"artifact_bytes"`
+	// Resolution is the published snapshot's effective resolution;
+	// DeclaredResolution is what registration asked for. They differ only
+	// while the space-budget tuner holds the relation at a coarser rung.
+	Resolution         core.Resolution `json:"resolution"`
+	DeclaredResolution core.Resolution `json:"declared_resolution"`
 	// Delta overlay depth: mutations acknowledged but not yet compacted
 	// into the published snapshot. All zero when the relation is settled.
 	DeltaOps    int   `json:"delta_ops,omitempty"`
@@ -303,6 +379,23 @@ type entry struct {
 	// fromPoints marks relations whose wanted generation came from raw
 	// points — the only kind the mutation API and points endpoint serve.
 	fromPoints bool
+	// res is the effective resolution of the wanted generation;
+	// declaredRes is what registration asked for. They diverge only while
+	// the space-budget tuner holds the relation tunerSteps rungs down the
+	// coarsening ladder.
+	res         core.Resolution
+	declaredRes core.Resolution
+	tunerSteps  int
+	// tunerFloor caps tunerSteps: a shrink whose published q-error blew
+	// the tolerance sets the floor one step back and is never repeated.
+	tunerFloor int
+	// tunerProbed is the snapshot version the q-error probe last checked,
+	// so each published rebuild is probed at most once.
+	tunerProbed uint64
+	// hits counts estimates served from this relation's snapshots
+	// (Snapshot.Touch); the tuner swaps it to zero every pass, making the
+	// value per-pass traffic. Shared with every published snapshot.
+	hits *atomic.Int64
 	// pending is the delta overlay: durably logged mutations not yet
 	// folded into the published snapshot, in LSN order.
 	pending []mutation
@@ -356,6 +449,9 @@ type Store struct {
 	stopCompact   chan struct{} // nil when the interval compactor is off
 	compactorDone chan struct{}
 
+	stopTuner chan struct{} // nil when the background tuner is off
+	tunerDone chan struct{}
+
 	// catalogBuilds counts catalogs actually constructed (staircase,
 	// virtual grid, catalog-merge); warm restarts that load everything from
 	// the disk cache leave it at zero — the soak smoke asserts exactly that.
@@ -368,6 +464,16 @@ type Store struct {
 	walReplayed  atomic.Int64
 	walTruncated atomic.Int64
 	compactions  atomic.Int64
+
+	// Tuner counters (see tuner.go): passes run, shrink/grow rebuilds
+	// scheduled, q-error reverts, shrinks refused by a q-error floor, and
+	// the artifact-byte total measured by the latest pass.
+	tunerPasses  atomic.Int64
+	tunerShrinks atomic.Int64
+	tunerGrows   atomic.Int64
+	tunerReverts atomic.Int64
+	tunerBlocked atomic.Int64
+	tunerBytes   atomic.Int64
 }
 
 // New creates a Store and starts its build workers. When CacheDir is set,
@@ -429,6 +535,11 @@ func New(opt Options) (*Store, error) {
 		s.stopCompact = make(chan struct{})
 		s.compactorDone = make(chan struct{})
 		go s.compactor()
+	}
+	if opt.CatalogBudgetBytes > 0 && opt.TunerInterval > 0 {
+		s.stopTuner = make(chan struct{})
+		s.tunerDone = make(chan struct{})
+		go s.tuner()
 	}
 	return s, nil
 }
@@ -495,6 +606,16 @@ func validateName(name string) error {
 // keeps serving until the new version is ready. The call never waits for
 // the build; use WaitReady or Status to observe completion.
 func (s *Store) Register(name string, pts []geom.Point) (RelationStatus, error) {
+	return s.RegisterResolution(name, pts, core.Resolution{})
+}
+
+// RegisterResolution is Register with a per-relation artifact resolution:
+// catalog depth (MaxK), staircase corner budget, virtual-grid granularity
+// and aknn partition capacity. Zero axes inherit the store-wide options,
+// so the zero resolution is exactly Register. The resolution is the
+// relation's declared accuracy; the space-budget tuner may serve it
+// coarser under memory pressure, but never refuses the registration.
+func (s *Store) RegisterResolution(name string, pts []geom.Point, res core.Resolution) (RelationStatus, error) {
 	if err := validateName(name); err != nil {
 		return RelationStatus{}, err
 	}
@@ -506,7 +627,11 @@ func (s *Store) Register(name string, pts []geom.Point) (RelationStatus, error) 
 			return RelationStatus{}, fmt.Errorf("store: relation %q point %d is not finite: %v", name, i, p)
 		}
 	}
-	return s.submit(name, pts, nil)
+	res = s.opt.resolveResolution(res)
+	if err := res.Validate(); err != nil {
+		return RelationStatus{}, fmt.Errorf("store: relation %q: %w", name, err)
+	}
+	return s.submit(name, pts, nil, res)
 }
 
 // RegisterIndex schedules a build of name over a pre-built data index. The
@@ -520,10 +645,10 @@ func (s *Store) RegisterIndex(name string, tree *index.Tree) (RelationStatus, er
 	if tree == nil || tree.NumBlocks() == 0 {
 		return RelationStatus{}, fmt.Errorf("store: relation %q has no blocks", name)
 	}
-	return s.submit(name, nil, tree)
+	return s.submit(name, nil, tree, s.opt.resolveResolution(core.Resolution{}))
 }
 
-func (s *Store) submit(name string, pts []geom.Point, tree *index.Tree) (RelationStatus, error) {
+func (s *Store) submit(name string, pts []geom.Point, tree *index.Tree, res core.Resolution) (RelationStatus, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
@@ -532,7 +657,7 @@ func (s *Store) submit(name string, pts []geom.Point, tree *index.Tree) (Relatio
 	e := s.entries[name]
 	isNew := e == nil
 	if isNew {
-		e = &entry{name: name}
+		e = &entry{name: name, hits: &atomic.Int64{}}
 	}
 	if err := s.enqueueLocked(e, pts, tree); err != nil {
 		return RelationStatus{}, err
@@ -542,11 +667,14 @@ func (s *Store) submit(name string, pts []geom.Point, tree *index.Tree) (Relatio
 	}
 	// A user registration replaces base and deltas wholesale: pending
 	// mutations are obsolete, and the publish checkpoint covers everything
-	// logged so far for this relation.
+	// logged so far for this relation. The declared resolution resets the
+	// tuner state too — a re-registration is a fresh accuracy contract.
 	e.pending = nil
 	e.ckptLSN = s.lastLSNLocked()
 	e.isCompact = false
 	e.fromPoints = pts != nil
+	e.res, e.declaredRes = res, res
+	e.tunerSteps, e.tunerFloor, e.tunerProbed = 0, math.MaxInt, 0
 	s.republishLocked()
 	return e.statusLocked(), nil
 }
@@ -704,6 +832,10 @@ func (s *Store) Close(ctx context.Context) error {
 		close(s.stopCompact)
 		<-s.compactorDone
 	}
+	if s.stopTuner != nil {
+		close(s.stopTuner)
+		<-s.tunerDone
+	}
 	done := make(chan struct{})
 	go func() {
 		s.wg.Wait()
@@ -747,13 +879,14 @@ func (s *Store) runJob(name string) {
 	}
 	gen := e.gen
 	pts, tree := e.pendingPts, e.pendingTree
+	res := e.res
 	ctx, cancel := context.WithCancel(s.ctx)
 	e.cancel = cancel
 	e.state = StateBuilding
 	s.republishLocked()
 	s.mu.Unlock()
 
-	built, err := s.buildCatalogs(ctx, name, pts, tree)
+	built, err := s.buildCatalogs(ctx, name, pts, tree, res)
 	cancel()
 
 	s.mu.Lock()
@@ -790,15 +923,18 @@ type builtRelation struct {
 	density   *core.DensityBased
 	vgrid     *core.VirtualGrid
 	aknn      *aknn.Summary
-	pts       []geom.Point // registration-order source points; nil for index builds
-	fp        string       // empty when not cacheable
+	pts       []geom.Point    // registration-order source points; nil for index builds
+	fp        string          // empty when not cacheable
+	res       core.Resolution // the resolution the artifacts were built at
 	fromCache bool
 }
 
-// buildCatalogs constructs (or cache-loads) every per-relation estimator.
-// It runs without any store lock; ctx aborts it between stages.
-func (s *Store) buildCatalogs(ctx context.Context, name string, pts []geom.Point, tree *index.Tree) (*builtRelation, error) {
-	b := &builtRelation{tree: tree}
+// buildCatalogs constructs (or cache-loads) every per-relation estimator
+// at the given resolution. It runs without any store lock; ctx aborts it
+// between stages.
+func (s *Store) buildCatalogs(ctx context.Context, name string, pts []geom.Point, tree *index.Tree, res core.Resolution) (*builtRelation, error) {
+	res = res.Canon()
+	b := &builtRelation{tree: tree, res: res}
 	if tree == nil {
 		b.pts = pts
 		bounds := s.opt.Bounds
@@ -809,7 +945,7 @@ func (s *Store) buildCatalogs(ctx context.Context, name string, pts []geom.Point
 			Capacity: s.opt.IndexCapacity,
 			Bounds:   bounds,
 		}).Index()
-		b.fp = s.fingerprint(pts)
+		b.fp = s.fingerprint(pts, res)
 	}
 	if b.tree.NumBlocks() == 0 {
 		return nil, fmt.Errorf("relation %q indexed to zero blocks", name)
@@ -830,7 +966,8 @@ func (s *Store) buildCatalogs(ctx context.Context, name string, pts []geom.Point
 		return nil, err
 	}
 	stair, err := core.BuildStaircase(b.tree, core.StaircaseOptions{
-		MaxK:     s.opt.MaxK,
+		MaxK:     res.MaxK,
+		Mode:     res.StaircaseMode(),
 		Fallback: b.density,
 	})
 	if err != nil {
@@ -841,19 +978,19 @@ func (s *Store) buildCatalogs(ctx context.Context, name string, pts []geom.Point
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	vg, err := core.BuildVirtualGrid(b.count, s.opt.GridSize, s.opt.GridSize, s.opt.MaxK)
+	vg, err := core.BuildVirtualGrid(b.count, res.GridSize, res.GridSize, res.MaxK)
 	if err != nil {
 		return nil, fmt.Errorf("virtual grid: %w", err)
 	}
 	s.catalogBuilds.Add(1)
 	b.vgrid = vg
-	b.aknn = aknn.BuildSummary(b.count)
+	b.aknn = aknn.BuildSummaryCapacity(b.count, res.AknnCapacity)
 	s.catalogBuilds.Add(1)
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	if b.fp != "" && s.cache != nil {
-		if err := s.cache.storeRelation(b.fp, s.manifestFor(b, pts), pts, stair, vg, b.aknn); err != nil {
+		if err := s.cache.storeRelation(b.fp, s.manifestFor(b, pts), pts, stair, vg, b.aknn, res); err != nil {
 			s.opt.logger().Printf("store: caching %q: %v (continuing uncached)", name, err)
 		}
 	}
@@ -867,7 +1004,7 @@ func (s *Store) loadCachedCatalogs(b *builtRelation) bool {
 	if !ok || !s.manifestMatches(m, b) {
 		return false
 	}
-	stair, vg, sum, err := s.cache.loadRelation(b.fp, b.tree, core.StaircaseOptions{Fallback: b.density})
+	stair, vg, sum, err := s.cache.loadRelation(b.fp, b.tree, core.StaircaseOptions{Fallback: b.density}, b.res)
 	if err != nil {
 		s.opt.logger().Printf("store: cache load %s: %v (rebuilding)", shortFP(b.fp), err)
 		return false
@@ -879,13 +1016,15 @@ func (s *Store) loadCachedCatalogs(b *builtRelation) bool {
 
 func (s *Store) manifestFor(b *builtRelation, pts []geom.Point) manifest {
 	return manifest{
-		Format:     cacheFormat,
-		NumPoints:  len(pts),
-		NumBlocks:  b.tree.NumBlocks(),
-		MaxK:       s.opt.MaxK,
-		SampleSize: s.opt.SampleSize,
-		GridSize:   s.opt.GridSize,
-		Capacity:   s.opt.IndexCapacity,
+		Format:       cacheFormat,
+		NumPoints:    len(pts),
+		NumBlocks:    b.tree.NumBlocks(),
+		MaxK:         b.res.MaxK,
+		Corners:      b.res.Corners,
+		SampleSize:   s.opt.SampleSize,
+		GridSize:     b.res.GridSize,
+		AknnCapacity: b.res.AknnCapacity,
+		Capacity:     s.opt.IndexCapacity,
 	}
 }
 
@@ -893,9 +1032,11 @@ func (s *Store) manifestMatches(m manifest, b *builtRelation) bool {
 	return m.Format == cacheFormat &&
 		m.NumPoints == b.tree.NumPoints() &&
 		m.NumBlocks == b.tree.NumBlocks() &&
-		m.MaxK == s.opt.MaxK &&
+		m.MaxK == b.res.MaxK &&
+		m.Corners == b.res.Corners &&
 		m.SampleSize == s.opt.SampleSize &&
-		m.GridSize == s.opt.GridSize &&
+		m.GridSize == b.res.GridSize &&
+		m.AknnCapacity == b.res.AknnCapacity &&
 		m.Capacity == s.opt.IndexCapacity
 }
 
@@ -909,18 +1050,21 @@ func (s *Store) publishLocked(e *entry, b *builtRelation) {
 	if e.snap != nil {
 		version = e.snap.Version + 1
 	}
-	eng := engine.NewRelationWithCount(e.name, b.tree, b.count, engine.BuildOptions{
-		MaxK:       s.opt.MaxK,
-		SampleSize: s.opt.SampleSize,
-		GridSize:   s.opt.GridSize,
-	})
+	eng := engine.NewRelationWithCount(e.name, b.tree, b.count,
+		engine.BuildOptions{SampleSize: s.opt.SampleSize}.WithResolution(b.res))
 	// Seed the engine with the artifacts this build already produced (or
 	// cache-loaded), so technique resolution never rebuilds what the store
-	// has: the engine serves these exact objects, bit for bit.
+	// has: the engine serves these exact objects, bit for bit. The
+	// staircase seeds under the technique its mode (the resolution's corner
+	// budget) selects; artifacts key by their own reported resolution.
 	eng.Seed(engine.TechDensity, b.density)
-	eng.Seed(engine.TechStaircaseCC, b.staircase)
+	eng.Seed(engine.StaircaseTechnique(b.staircase.Mode()), b.staircase)
 	eng.Seed(engine.TechVirtualGrid, b.vgrid)
 	eng.Seed(engine.TechAknnBounds, b.aknn)
+	if e.hits == nil {
+		e.hits = &atomic.Int64{}
+	}
+	stairBytes, vgBytes, aknnBytes := b.staircase.SizeBytes(), b.vgrid.SizeBytes(), b.aknn.SizeBytes()
 	snap := &Snapshot{
 		Name:           e.name,
 		Version:        version,
@@ -933,8 +1077,12 @@ func (s *Store) publishLocked(e *entry, b *builtRelation) {
 		VGrid:          b.vgrid,
 		Aknn:           b.aknn,
 		Engine:         eng,
-		StaircaseBytes: b.staircase.StorageBytes(),
-		VGridBytes:     b.vgrid.StorageBytes(),
+		Resolution:     b.res,
+		StaircaseBytes: stairBytes,
+		VGridBytes:     vgBytes,
+		AknnBytes:      aknnBytes,
+		ArtifactBytes:  stairBytes + vgBytes + aknnBytes,
+		hits:           e.hits,
 	}
 	e.snap = snap
 	e.state = StateReady
@@ -973,7 +1121,7 @@ func (s *Store) publishLocked(e *entry, b *builtRelation) {
 			return
 		}
 	}
-	if err := s.cache.remember(e.name, b.fp); err != nil {
+	if err := s.cache.remember(e.name, b.fp, b.res, e.declaredRes); err != nil {
 		s.opt.logger().Printf("store: updating cache registry for %q: %v", e.name, err)
 		e.rememberFailed = true
 	} else {
@@ -1048,7 +1196,9 @@ func (s *Store) mergeFor(outer, inner *Snapshot) (*core.CatalogMerge, error) {
 			return m, nil
 		}
 	}
-	m, err := core.BuildCatalogMerge(outer.Count, inner.Count, s.opt.SampleSize, s.opt.MaxK)
+	// The merge's catalog depth follows the outer relation's effective
+	// resolution, matching the engine's CatalogMerge accessor.
+	m, err := core.BuildCatalogMerge(outer.Count, inner.Count, s.opt.SampleSize, outer.Resolution.MaxK)
 	if err != nil {
 		return nil, err
 	}
@@ -1074,6 +1224,10 @@ func (e *entry) statusLocked() RelationStatus {
 		st.NumBlocks = e.snap.Tree.NumBlocks()
 		st.StaircaseBytes = e.snap.StaircaseBytes
 		st.VirtualGridBytes = e.snap.VGridBytes
+		st.AknnBytes = e.snap.AknnBytes
+		st.ArtifactBytes = e.snap.ArtifactBytes
+		st.Resolution = e.snap.Resolution
+		st.DeclaredResolution = e.declaredRes
 	}
 	if len(e.pending) > 0 {
 		st.DeltaOps = len(e.pending)

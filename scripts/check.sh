@@ -33,6 +33,10 @@ sh scripts/soak.sh ingest
 # with the invalidation visible in the expvars.
 sh scripts/soak.sh plan
 
+# Mmap catalog-cache smoke: warm-load a 2000-relation fleet through the
+# zero-copy read path and require bit-identical estimates with zero builds.
+sh scripts/soak.sh mmap
+
 # Estimator-accuracy gate: exact invariants must hold and q-error quantiles
 # must stay within 10% of the checked-in golden baseline.
 go run ./cmd/knnbench -accuracy -baseline results/ACCURACY_BASELINE.json

@@ -4,8 +4,10 @@
 # registry and relation engine every layer rests on), internal/aknn (the
 # bounds-only AkNN join and its estimator), internal/shard (the
 # scatter-gather routing tier), internal/wal (the crash-safety foundation
-# of streaming ingest), and internal/optimizer (the multi-predicate plan
-# enumerator and its invalidation-correct plan cache).
+# of streaming ingest), internal/optimizer (the multi-predicate plan
+# enumerator and its invalidation-correct plan cache), and internal/store
+# (the relation store, its mmap catalog cache, and the space-budget
+# auto-tuner).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -48,3 +50,4 @@ check_floor knncost/internal/aknn 85.0
 check_floor knncost/internal/shard 78.0
 check_floor knncost/internal/wal 80.0
 check_floor knncost/internal/optimizer 80.0
+check_floor knncost/internal/store 80.0

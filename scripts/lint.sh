@@ -36,6 +36,41 @@ resolve_tool() {
 
 status=0
 
+# Formatting drift: every tracked Go file must be gofmt-clean.
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+	echo "lint: gofmt drift in:" >&2
+	echo "$unformatted" >&2
+	status=1
+else
+	echo "lint: gofmt clean"
+fi
+
+# go.mod / go.sum drift: `go mod tidy` must be a no-op. Run against copies
+# so a failing check never rewrites the tracked files.
+tidy_dir=$(mktemp -d)
+cp go.mod "$tidy_dir/go.mod.orig"
+[ -f go.sum ] && cp go.sum "$tidy_dir/go.sum.orig"
+if go mod tidy >/dev/null 2>&1; then
+	if ! cmp -s go.mod "$tidy_dir/go.mod.orig"; then
+		echo "lint: go.mod drift — run 'go mod tidy' and commit the result" >&2
+		cp "$tidy_dir/go.mod.orig" go.mod
+		status=1
+	elif [ -f go.sum ] && ! cmp -s go.sum "$tidy_dir/go.sum.orig"; then
+		echo "lint: go.sum drift — run 'go mod tidy' and commit the result" >&2
+		cp "$tidy_dir/go.mod.orig" go.mod
+		cp "$tidy_dir/go.sum.orig" go.sum
+		status=1
+	else
+		echo "lint: go mod tidy clean"
+	fi
+else
+	echo "lint: WARNING: go mod tidy failed (offline?); skipping drift check" >&2
+	cp "$tidy_dir/go.mod.orig" go.mod
+	[ -f "$tidy_dir/go.sum.orig" ] && cp "$tidy_dir/go.sum.orig" go.sum
+fi
+rm -rf "$tidy_dir"
+
 if staticcheck_bin=$(resolve_tool staticcheck "honnef.co/go/tools/cmd/staticcheck@$STATICCHECK_VERSION"); then
 	echo "lint: staticcheck ($staticcheck_bin)"
 	"$staticcheck_bin" ./... || status=1

@@ -28,17 +28,23 @@
 # re-plan to miss — with the purge visible in the
 # knncost_plan_cache_invalidations expvar.
 #
-# Usage: soak.sh [all|shard|ingest|plan]  — `shard` runs only the third
-# phase, `ingest` only the fourth and `plan` only the fifth (the smoke tier
-# of scripts/check.sh uses these).
+# A sixth phase smokes the zero-copy mmap catalog cache at fleet scale:
+# KNNCOST_MMAP_RELATIONS relations (default 2000; the recorded DESIGN.md
+# numbers use 100000) are built, persisted, and warm-loaded through the
+# mmap read path, asserting bit-identical estimates with zero rebuild work
+# and reporting restart wall time plus RSS/heap growth.
+#
+# Usage: soak.sh [all|shard|ingest|plan|mmap]  — `shard` runs only the third
+# phase, `ingest` only the fourth, `plan` only the fifth and `mmap` only the
+# sixth (the smoke tier of scripts/check.sh uses these).
 set -eu
 
 cd "$(dirname "$0")/.."
 
 PHASE="${1:-all}"
 case "$PHASE" in
-  all|shard|ingest|plan) ;;
-  *) echo "soak: unknown phase $PHASE (want all, shard, ingest, or plan)"; exit 2 ;;
+  all|shard|ingest|plan|mmap) ;;
+  *) echo "soak: unknown phase $PHASE (want all, shard, ingest, plan, or mmap)"; exit 2 ;;
 esac
 
 # Soak must leave the repository untouched — every file it writes goes to
@@ -528,6 +534,28 @@ kill -TERM "$PPID_"; wait "$PPID_" || { echo "soak: plan daemon exited dirty"; c
 echo "soak: plan tier OK"
 
 fi # PHASE = all|plan
+
+if [ "$PHASE" = all ] || [ "$PHASE" = mmap ]; then
+
+# --- mmap catalog-cache scale smoke ------------------------------------------
+
+# The scale measurement lives in a Go test (it needs in-process RSS/heap
+# probes); the soak phase drives it at fleet scale and requires the verbose
+# log to show the warm-load numbers. 100k relations need ~200k VMA slots —
+# past the default vm.max_map_count the loaders degrade to heap copies, so
+# the smoke default stays under the kernel limit.
+MMAP_N="${KNNCOST_MMAP_RELATIONS:-2000}"
+MMAP_OUT="$TMPDIR/knncostd-soak-$$.mmap"
+if KNNCOST_MMAP_RELATIONS="$MMAP_N" go test -run TestMmapCatalogScale -v -timeout 1800s \
+    ./internal/store/ >"$MMAP_OUT" 2>&1; then
+  grep -E "relations=|rss:" "$MMAP_OUT" | sed 's/^ *[^ ]* /soak: mmap /'
+else
+  echo "soak: mmap scale test failed:"; cat "$MMAP_OUT"; rm -f "$MMAP_OUT"; exit 1
+fi
+rm -f "$MMAP_OUT"
+echo "soak: mmap tier OK ($MMAP_N relations)"
+
+fi # PHASE = all|mmap
 
 # --- clean-tree check --------------------------------------------------------
 
